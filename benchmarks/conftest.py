@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench wraps its experiment in ``benchmark.pedantic(..., rounds=1)``
+so ``pytest benchmarks/ --benchmark-only`` both times the harness and
+regenerates the paper artifact.  Rendered tables/series are printed and
+saved under ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def harness():
+    from repro.bench import get_harness
+
+    return get_harness()
+
+
+@pytest.fixture()
+def save_artifact():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, name)
+        with open(path, "w") as f:
+            f.write(text if text.endswith("\n") else text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

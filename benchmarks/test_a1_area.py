@@ -1,0 +1,31 @@
+"""§VII-A — PE area/frequency comparison (A1).
+
+Paper constants: one PE (32 kB private cache + 8 kB scratchpad) is
+0.18 mm2 at 1.3 GHz; a Skylake core is ~15 mm2 at ~4 GHz; 64 PEs take
+about one CPU core of area at one third of its clock.
+"""
+
+import pytest
+
+from repro.hw import AreaModel, FlexMinerConfig, PE_AREA_MM2
+
+
+def test_a1_area(benchmark, save_artifact):
+    model = benchmark.pedantic(
+        lambda: AreaModel(FlexMinerConfig(num_pes=64)),
+        rounds=1,
+        iterations=1,
+    )
+    assert model.pe_area_mm2 == pytest.approx(PE_AREA_MM2, rel=0.01)
+    assert 0.5 < model.skylake_core_equivalents < 1.2
+    assert model.clock_ratio_vs_cpu == pytest.approx(1.3 / 4.0)
+
+    sweep = [
+        (cmap, AreaModel(FlexMinerConfig(cmap_bytes=cmap)).pe_area_mm2)
+        for cmap in (0, 1024, 4096, 8192, 16384)
+    ]
+    lines = [
+        "A1: " + model.summary(),
+        "PE area vs c-map size:",
+    ] + [f"  cmap={c // 1024}kB -> {a:.3f} mm2" for c, a in sweep]
+    save_artifact("a1_area.txt", "\n".join(lines))

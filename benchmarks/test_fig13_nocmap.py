@@ -1,0 +1,55 @@
+"""Fig. 13 — FlexMiner without c-map vs GraphZero-20T.
+
+Paper shape: 10 PEs already beat the 20-thread CPU for most cases
+despite the 3x lower clock; speedup grows with PE count (averages 1.56x
+/ 2.93x / 5.15x at 10/20/40 PEs); TC on the large sparse graphs gains
+least (memory bound).
+"""
+
+from repro.bench import (
+    PE_SWEEP_FIG13,
+    fig13_nocmap_speedups,
+    geometric_mean,
+    render_series,
+)
+
+
+def test_fig13(benchmark, harness, save_artifact):
+    series = benchmark.pedantic(
+        lambda: fig13_nocmap_speedups(harness), rounds=1, iterations=1
+    )
+
+    flat = {
+        pes: [series[a][d][pes] for a in series for d in series[a]]
+        for pes in PE_SWEEP_FIG13
+    }
+    means = {pes: geometric_mean(vals) for pes, vals in flat.items()}
+
+    # Speedup grows with the PE count on average.
+    assert means[10] < means[20] < means[40]
+    # The 10-PE configuration already competes with the 20-thread CPU
+    # for most cells (paper: "already outperform for most cases").
+    wins10 = sum(1 for v in flat[10] if v >= 1.0)
+    assert wins10 >= len(flat[10]) * 0.6
+    # 40 PEs win decisively on average.
+    assert means[40] > 2.0
+    # TC benefits least of the compute-heavy apps (paper: "TC has the
+    # least computation of all applications"): it is never the app with
+    # the highest average speedup.
+    app_means = {
+        app: geometric_mean(
+            [series[app][d][40] for d in series[app]]
+        )
+        for app in series
+    }
+    assert app_means["TC"] < max(app_means.values())
+
+    text = render_series(
+        "Fig 13: FlexMiner (no c-map) speedup over GraphZero-20T",
+        series,
+        key_format=lambda pes: f"{pes}PE",
+    )
+    text += "\n  geomean: " + "  ".join(
+        f"{pes}PE={means[pes]:.2f}" for pes in PE_SWEEP_FIG13
+    )
+    save_artifact("fig13.txt", text)

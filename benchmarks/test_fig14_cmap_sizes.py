@@ -1,0 +1,58 @@
+"""Fig. 14 — performance impact of the c-map at different sizes.
+
+Paper shape: 4-cycle benefits most (no frontier reuse, heavy c-map
+reuse); k-CL and diamond benefit little (frontier memoization already
+covers them); a small c-map already captures most of the unlimited
+c-map's benefit; the c-map never degrades performance.
+"""
+
+from repro.bench import (
+    CMAP_SIZES,
+    UNLIMITED_CMAP,
+    fig14_cmap_sizes,
+    geometric_mean,
+    render_series,
+)
+
+
+def app_mean(series, app, size):
+    return geometric_mean(
+        [series[app][d][size] for d in series[app]]
+    )
+
+
+def test_fig14(benchmark, harness, save_artifact):
+    series = benchmark.pedantic(
+        lambda: fig14_cmap_sizes(harness), rounds=1, iterations=1
+    )
+
+    # 4-cycle gains the most from the c-map (paper: 3.0x average there,
+    # "no frontier list reuse in 4-cycle while c-map is reused heavily").
+    gains = {
+        app: app_mean(series, app, UNLIMITED_CMAP) for app in series
+    }
+    assert gains["SL-4cycle"] == max(gains.values())
+    # k-CL sees little additional benefit over frontier memoization.
+    assert gains["5-CL"] < 1.15
+    # The c-map (with compiler hints) never hurts.
+    for app in series:
+        for ds in series[app]:
+            for size, value in series[app][ds].items():
+                assert value > 0.93, (app, ds, size, value)
+    # A small c-map captures most of the unlimited benefit (paper: 4 kB).
+    for app in series:
+        small = app_mean(series, app, 8192)
+        unlimited = app_mean(series, app, UNLIMITED_CMAP)
+        assert small >= 0.85 * unlimited, app
+
+    text = render_series(
+        "Fig 14: speedup over no-cmap at 20 PEs, by c-map size",
+        series,
+        key_format=lambda size: (
+            "unl" if size == UNLIMITED_CMAP else f"{size // 1024}k"
+        ),
+    )
+    text += "\n  app geomeans (unlimited): " + "  ".join(
+        f"{app}={gains[app]:.2f}" for app in sorted(gains)
+    )
+    save_artifact("fig14.txt", text)

@@ -1,0 +1,38 @@
+"""Fig. 15 — performance scaling from 1 to 64 PEs (8 kB c-map).
+
+Paper shape: generally linear scaling; As — the smallest dataset —
+scales worst because it offers the fewest tasks; TC scaling is close to
+perfect on the larger inputs.
+"""
+
+from repro.bench import PE_SWEEP_FIG15, fig15_pe_scaling, render_series
+
+
+def test_fig15(benchmark, harness, save_artifact):
+    series = benchmark.pedantic(
+        lambda: fig15_pe_scaling(harness), rounds=1, iterations=1
+    )
+
+    for app in series:
+        for ds, sweep in series[app].items():
+            values = [sweep[p] for p in PE_SWEEP_FIG15]
+            # Monotone non-decreasing in PEs (within simulator noise).
+            for a, b in zip(values, values[1:]):
+                assert b >= 0.95 * a, (app, ds)
+            # Real parallel speedup by 64 PEs everywhere.
+            assert sweep[64] > 3.0, (app, ds)
+            # Never super-linear beyond noise.
+            assert sweep[64] <= 64 * 1.05
+
+    # As (fewest tasks) scales worse than the larger datasets (paper's
+    # explicit observation for TC).  Quick mode only runs As.
+    if "Pa" in series["TC"]:
+        assert series["TC"]["As"][64] < series["TC"]["Pa"][64]
+
+    text = render_series(
+        "Fig 15: scaling vs 1 PE (8 kB c-map)",
+        series,
+        key_format=lambda pes: f"{pes}PE",
+        value_format=lambda v: f"{v:5.1f}",
+    )
+    save_artifact("fig15.txt", text)

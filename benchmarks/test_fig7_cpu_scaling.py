@@ -1,0 +1,35 @@
+"""Fig. 7 — k-CL thread scaling on the CPU baseline.
+
+The paper observes near-linear scaling up to the physical core count,
+a slower slope once hyper-threading kicks in, and memory bandwidth that
+keeps rising past the core count.
+"""
+
+from repro.bench import fig7_cpu_scaling
+
+
+def test_fig7(benchmark, harness, save_artifact):
+    series = benchmark.pedantic(
+        lambda: fig7_cpu_scaling(harness), rounds=1, iterations=1
+    )
+
+    cores = harness.cpu_config.cores
+    # Linear region: speedup at the core count ~= core count.
+    assert series[cores]["speedup"] == 10.0
+    # Hyper-threading region is sub-linear (Fig. 7 knee).
+    assert series[20]["speedup"] < 20 * 0.8
+    assert series[20]["speedup"] > series[cores]["speedup"]
+    # Speedup is monotone in threads; bandwidth keeps rising past cores.
+    threads = sorted(series)
+    for a, b in zip(threads, threads[1:]):
+        assert series[b]["speedup"] >= series[a]["speedup"]
+    assert series[20]["bandwidth_gbs"] > series[cores]["bandwidth_gbs"]
+
+    lines = ["Fig 7: 4-CL on Or, CPU model"]
+    for t in threads:
+        s = series[t]
+        lines.append(
+            f"  threads={t:<3d} speedup={s['speedup']:6.2f} "
+            f"bandwidth={s['bandwidth_gbs']:6.2f} GB/s"
+        )
+    save_artifact("fig7.txt", "\n".join(lines))

@@ -1,0 +1,37 @@
+"""Table I — the input-graph suite (paper §VII-A).
+
+Regenerates the dataset table for the synthetic stand-ins and checks the
+shape properties the evaluation relies on: Mi densest, As smallest,
+heavy-tailed degrees everywhere.
+"""
+
+from repro.bench import render_table1, table1_rows
+from repro.graph import load_dataset
+
+
+def test_table1(benchmark, save_artifact):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    by_name = {r[0]: r for r in rows}
+
+    assert set(by_name) == {"As", "Mi", "Pa", "Yo", "Lj", "Or"}
+    # As is the smallest graph; Mi is the densest of the figure suite.
+    assert by_name["As"][1] == min(r[1] for r in rows)
+    figure_suite = ["As", "Mi", "Pa", "Yo", "Lj"]
+    assert by_name["Mi"][4] == max(by_name[n][4] for n in figure_suite)
+    # Heavy tails: max degree far above average everywhere.
+    for name, _, _, dmax, davg in rows:
+        assert dmax > 4 * davg, name
+
+    save_artifact("table1.txt", render_table1())
+
+
+def test_graph_load_throughput(benchmark):
+    """Kernel timing: building the largest stand-in from scratch."""
+    from repro.graph.datasets import _CACHE
+
+    def build():
+        _CACHE.pop("Or", None)
+        return load_dataset("Or")
+
+    graph = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert graph.num_edges > 0

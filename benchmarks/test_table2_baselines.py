@@ -1,0 +1,28 @@
+"""Table II — Gramer (FPGA) vs AutoMine (CPU) vs GraphZero (CPU).
+
+The paper's point: GraphZero on a CPU beats the Gramer FPGA accelerator
+almost everywhere (8.3x average) because pattern awareness shrinks the
+search tree by orders of magnitude, and GraphZero beats AutoMine by
+adding symmetry breaking.  We regenerate the table from modelled
+runtimes over measured work (DESIGN.md §2) and assert that ordering.
+"""
+
+from repro.bench import geometric_mean, render_table2, table2_rows
+
+
+def test_table2(benchmark, save_artifact):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+
+    ratios = []
+    for row in rows:
+        # GraphZero is the fastest system in (almost) every row.
+        assert row["graphzero_s"] <= row["automine_s"], row
+        ratios.append(row["gramer_s"] / row["graphzero_s"])
+
+    # GraphZero beats the Gramer-model FPGA by a wide average margin.
+    assert geometric_mean(ratios) > 3.0
+    # ... and in the large majority of rows individually.
+    wins = sum(1 for r in ratios if r > 1.0)
+    assert wins >= len(ratios) - 1
+
+    save_artifact("table2.txt", render_table2(rows))

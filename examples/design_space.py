@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Design-space exploration with the cycle-level simulator.
+
+An architect's workflow: sweep the accelerator's PE count and c-map size
+for a fixed workload, look at where cycles go (compute vs memory
+stalls, c-map fall-backs, NoC traffic), and read off the efficient
+design point — reproducing in miniature the paper's §VII-C/§VII-E
+analysis that settled on 64 PEs with an 8 kB c-map.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.compiler import compile_pattern
+from repro.graph import load_dataset
+from repro.hw import AreaModel, FlexMinerConfig, simulate
+from repro.patterns import four_cycle
+
+
+def main() -> None:
+    graph = load_dataset("Pa")
+    plan = compile_pattern(four_cycle())
+    print(f"workload: SL-4cycle on {graph}\n")
+
+    print("c-map size sweep (20 PEs):")
+    base = None
+    for cmap in (0, 1024, 4096, 8192, 16384):
+        config = FlexMinerConfig(num_pes=20, cmap_bytes=cmap)
+        report = simulate(graph, plan, config)
+        if base is None:
+            base = report.cycles
+        area = AreaModel(config).pe_area_mm2
+        label = "no c-map" if cmap == 0 else f"{cmap // 1024:>2d} kB"
+        print(
+            f"  {label:>8s}: {report.cycles:>10.0f} cycles "
+            f"({base / report.cycles:4.2f}x)  "
+            f"mem-stall {report.memory_bound_fraction * 100:4.1f}%  "
+            f"NoC {report.noc_requests:>6d}  "
+            f"PE {area:.3f} mm2"
+        )
+
+    print("\nPE count sweep (8 kB c-map):")
+    one_pe = None
+    for pes in (1, 2, 4, 8, 16, 32, 64):
+        config = FlexMinerConfig(num_pes=pes)
+        report = simulate(graph, plan, config)
+        if one_pe is None:
+            one_pe = report.cycles
+        model = AreaModel(config)
+        print(
+            f"  {pes:>2d} PEs: {report.cycles:>10.0f} cycles "
+            f"(scaling {one_pe / report.cycles:5.2f}x)  "
+            f"imbalance {report.load_imbalance:4.2f}  "
+            f"array {model.total_pe_area_mm2:5.2f} mm2 "
+            f"({model.skylake_core_equivalents:4.2f} cores)"
+        )
+
+    print("\nPE count sweep with straggler-task splitting (deg/16):")
+    one_pe = None
+    for pes in (1, 16, 32, 64):
+        config = FlexMinerConfig(num_pes=pes, task_split_degree=16)
+        report = simulate(graph, plan, config)
+        if one_pe is None:
+            one_pe = report.cycles
+        print(
+            f"  {pes:>2d} PEs: {report.cycles:>10.0f} cycles "
+            f"(scaling {one_pe / report.cycles:5.2f}x)  "
+            f"imbalance {report.load_imbalance:4.2f}"
+        )
+
+    print(
+        "\nreading: the c-map saturates within a few kB (paper: 4-8 kB);"
+        "\none-task-per-root scaling is straggler-limited on scaled-down"
+        "\ninputs, and splitting hub tasks restores it — the paper's"
+        "\n64-PE, 8 kB design point sits at the knee of both curves."
+    )
+
+
+if __name__ == "__main__":
+    main()

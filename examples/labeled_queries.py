@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Labeled pattern queries on a protein-style network.
+
+The paper's motivating PPI application labels proteins with their
+function.  This example builds a labeled network and runs labeled
+queries end to end: the compiler restricts symmetry breaking to the
+label-preserving automorphisms, the engines add label checks to the
+pruner, and the accelerator simulation honors the same plan.
+
+Run:  python examples/labeled_queries.py
+"""
+
+from repro.compiler import compile_pattern, emit_ir
+from repro.engine import mine
+from repro.graph import assign_random_labels, power_law_cluster
+from repro.hw import FlexMinerConfig, simulate
+from repro.patterns import Pattern, triangle
+
+FUNCTION_NAMES = ("kinase", "ligase", "receptor")
+
+
+def main() -> None:
+    base = power_law_cluster(500, 5, 0.5, seed=11, name="ppi")
+    graph = assign_random_labels(base, len(FUNCTION_NAMES), seed=3)
+    print(f"network: {graph}")
+    for lab, name in enumerate(FUNCTION_NAMES):
+        print(f"  {name:<9s}: {len(graph.vertices_with_label(lab))} proteins")
+
+    # Query 1: fully labeled triangle — a kinase-ligase-receptor complex.
+    complex_query = triangle().with_labels([0, 1, 2])
+    plan = compile_pattern(complex_query)
+    found = mine(graph, plan).counts[0]
+    print(f"\nkinase-ligase-receptor triangles: {found}")
+    print(f"(symmetry conditions: {plan.symmetry_conditions} — the "
+          f"labeled triangle has fewer automorphisms to break)")
+
+    # Query 2: wildcard — two kinases bridged by anything.
+    bridge = Pattern(
+        3, [(0, 1), (1, 2)], labels=[0, None, 0], name="kinase-bridge"
+    )
+    plan2 = compile_pattern(bridge)
+    print(f"\nkinase-X-kinase bridges: {mine(graph, plan2).counts[0]}")
+    print("\nexecution plan IR with label header:")
+    print(emit_ir(plan2))
+
+    # Same labeled plan on the simulated accelerator.
+    report = simulate(graph, plan, FlexMinerConfig(num_pes=16))
+    assert report.counts[0] == found
+    print(f"FlexMiner 16-PE simulation agrees: {report.counts[0]} matches "
+          f"in {report.cycles:.0f} cycles")
+
+    # Label selectivity: compare against the unlabeled triangle count.
+    unlabeled = mine(graph, compile_pattern(triangle())).counts[0]
+    print(f"\nselectivity: {found}/{unlabeled} triangles survive the "
+          f"label constraint ({found / max(unlabeled, 1):.1%})")
+
+
+if __name__ == "__main__":
+    main()

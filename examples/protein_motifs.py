@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Motif counting on a protein-interaction-style network.
+
+The paper's introduction motivates GPM with protein function prediction:
+proteins with similar local interaction structure tend to share
+functionality, and the structure is summarized by *motif counts* (k-MC).
+This example builds a clustered network shaped like a protein-protein
+interaction (PPI) graph, counts all 3- and 4-vertex motifs with the
+multi-pattern engine, and derives the per-vertex "graphlet degree"
+signature for a few proteins — the feature vector the bioinformatics
+papers cited in the introduction use.
+
+Run:  python examples/protein_motifs.py
+"""
+
+from collections import Counter
+
+from repro.apps import motif_count
+from repro.compiler import compile_motifs
+from repro.engine import PatternAwareEngine
+from repro.graph import power_law_cluster
+from repro.patterns import motif_names
+
+
+def main() -> None:
+    # PPI-style network: power-law degrees + high clustering.
+    graph = power_law_cluster(600, 4, 0.6, seed=5, name="ppi")
+    print(f"network: {graph}\n")
+
+    for k in (3, 4):
+        result = motif_count(graph, k)
+        names = motif_names(k)
+        print(f"{k}-motif census:")
+        for name, count in zip(names, result.counts):
+            print(f"  {name:<16s}{count:>10d}")
+        total = sum(result.counts)
+        triangles_like = result.counts[-1]  # densest motif (clique)
+        print(
+            f"  -> {total} connected {k}-subgraphs, clique fraction "
+            f"{triangles_like / total:.4f}\n"
+        )
+
+    # Graphlet-degree signature: per-protein motif participation.
+    # Re-run with embedding collection on the 3-motifs and attribute
+    # each occurrence to its member vertices.
+    plan = compile_motifs(3)
+    engine = PatternAwareEngine(graph, plan, collect=True)
+    result = engine.run()
+    signature: Counter = Counter()
+    for emb in result.embeddings:
+        for v in emb:
+            signature[v] += 1
+    top = signature.most_common(5)
+    print("most structurally embedded proteins (3-motif participation):")
+    for v, score in top:
+        print(f"  protein {v:<5d} degree={graph.degree(v):<4d} "
+              f"motif participation={score}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""FlexMiner reproduction: a pattern-aware graph-pattern-mining system.
+
+From-scratch Python reproduction of *FlexMiner: A Pattern-Aware
+Accelerator for Graph Pattern Mining* (Chen, Huang, Xu, Bourgeat, Chung --
+ISCA 2021): the pattern compiler, the software GPM engines it is compared
+against, and a cycle-level simulator of the accelerator.
+
+Public surface::
+
+    repro.graph     CSR graphs, generators, datasets, orientation
+    repro.patterns  pattern library, isomorphism, motifs
+    repro.compiler  matching/symmetry orders, execution plans, IR
+    repro.engine    pattern-aware / c-map / oblivious software engines
+    repro.hw        FlexMiner cycle-level simulator
+    repro.apps      TC, k-CL, SL, k-MC over any backend
+    repro.bench     CPU models and the paper's tables/figures
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

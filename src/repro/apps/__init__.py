@@ -1,0 +1,19 @@
+"""GPM applications: TC, k-CL, SL, k-MC."""
+
+from .api import (
+    APP_NAMES,
+    clique_count,
+    motif_count,
+    run_app,
+    subgraph_list,
+    triangle_count,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "triangle_count",
+    "clique_count",
+    "subgraph_list",
+    "motif_count",
+    "run_app",
+]

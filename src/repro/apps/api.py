@@ -1,0 +1,171 @@
+"""The four GPM applications (paper §II-A) over a single public API.
+
+* :func:`triangle_count` (TC)
+* :func:`clique_count` (k-CL)
+* :func:`subgraph_list` (SL, edge-induced, arbitrary pattern)
+* :func:`motif_count` (k-MC, vertex-induced, multi-pattern)
+
+Every app accepts a ``backend``:
+
+* ``"engine"`` — the pattern-aware software reference (GraphZero model);
+* ``"cmap"`` — the software vector-c-map engine;
+* ``"oblivious"`` — the pattern-oblivious baseline (Gramer model);
+* ``"sim"`` — the FlexMiner cycle-level simulator (pass ``config``).
+
+Engine backends return a :class:`~repro.engine.explore.MiningResult`;
+the simulator returns a :class:`~repro.hw.report.SimReport`.  Both expose
+``counts``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..compiler import compile_motifs, compile_pattern
+from ..engine import (
+    CMapSoftwareEngine,
+    MiningResult,
+    ObliviousEngine,
+    PatternAwareEngine,
+)
+from ..errors import ConfigError
+from ..graph import CSRGraph
+from ..hw import FlexMinerConfig, SimReport, simulate
+from ..patterns import Pattern, enumerate_motifs, k_clique, triangle
+
+__all__ = [
+    "triangle_count",
+    "clique_count",
+    "subgraph_list",
+    "motif_count",
+    "run_app",
+    "APP_NAMES",
+]
+
+Result = Union[MiningResult, SimReport]
+
+APP_NAMES = ("TC", "k-CL", "SL", "k-MC")
+
+
+def _run(
+    graph: CSRGraph,
+    plan,
+    patterns,
+    *,
+    backend: str,
+    induced: bool,
+    config: Optional[FlexMinerConfig],
+    collect: bool,
+) -> Result:
+    if backend == "engine":
+        return PatternAwareEngine(graph, plan, collect=collect).run()
+    if backend == "cmap":
+        return CMapSoftwareEngine(graph, plan, collect=collect).run()
+    if backend == "oblivious":
+        return ObliviousEngine(graph, patterns, induced=induced).run(
+            collect=collect
+        )
+    if backend == "sim":
+        if collect:
+            raise ConfigError("the simulator does not collect embeddings")
+        return simulate(graph, plan, config)
+    raise ConfigError(
+        f"unknown backend {backend!r}; expected engine/cmap/oblivious/sim"
+    )
+
+
+def triangle_count(
+    graph: CSRGraph,
+    *,
+    backend: str = "engine",
+    config: Optional[FlexMinerConfig] = None,
+) -> Result:
+    """TC: count triangles (3-cliques, orientation-optimized)."""
+    return clique_count(graph, 3, backend=backend, config=config)
+
+
+def clique_count(
+    graph: CSRGraph,
+    k: int,
+    *,
+    backend: str = "engine",
+    config: Optional[FlexMinerConfig] = None,
+) -> Result:
+    """k-CL: count k-cliques using the orientation technique (§V-C)."""
+    pattern = k_clique(k)
+    plan = compile_pattern(pattern)
+    return _run(
+        graph,
+        plan,
+        [pattern],
+        backend=backend,
+        induced=False,
+        config=config,
+        collect=False,
+    )
+
+
+def subgraph_list(
+    graph: CSRGraph,
+    pattern: Pattern,
+    *,
+    backend: str = "engine",
+    config: Optional[FlexMinerConfig] = None,
+    collect: bool = False,
+) -> Result:
+    """SL: enumerate edge-induced matches of an arbitrary pattern."""
+    plan = compile_pattern(pattern, induced=False)
+    return _run(
+        graph,
+        plan,
+        [pattern],
+        backend=backend,
+        induced=False,
+        config=config,
+        collect=collect,
+    )
+
+
+def motif_count(
+    graph: CSRGraph,
+    k: int,
+    *,
+    backend: str = "engine",
+    config: Optional[FlexMinerConfig] = None,
+) -> Result:
+    """k-MC: count every k-vertex motif simultaneously (multi-pattern)."""
+    plan = compile_motifs(k)
+    return _run(
+        graph,
+        plan,
+        enumerate_motifs(k),
+        backend=backend,
+        induced=True,
+        config=config,
+        collect=False,
+    )
+
+
+def run_app(
+    graph: CSRGraph,
+    app: str,
+    *,
+    pattern: Optional[Pattern] = None,
+    k: int = 3,
+    backend: str = "engine",
+    config: Optional[FlexMinerConfig] = None,
+) -> Result:
+    """Dispatch by app name: 'TC', 'k-CL', 'SL' or 'k-MC'."""
+    if app == "TC":
+        return triangle_count(graph, backend=backend, config=config)
+    if app == "k-CL":
+        return clique_count(graph, k, backend=backend, config=config)
+    if app == "SL":
+        if pattern is None:
+            raise ConfigError("SL needs a pattern")
+        return subgraph_list(
+            graph, pattern, backend=backend, config=config
+        )
+    if app == "k-MC":
+        return motif_count(graph, k, backend=backend, config=config)
+    raise ConfigError(f"unknown app {app!r}; expected one of {APP_NAMES}")

@@ -1,0 +1,230 @@
+"""Figure regeneration: the series behind Figs. 7, 13, 14, 15, 16 and
+the §VII-E speedup attribution.
+
+Every function returns plain data (dicts of series) plus a formatted
+text rendering, so benches can both assert on shapes and print
+paper-style output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .cpumodel import CpuModelConfig, cpu_time_seconds
+from .harness import (
+    FIG13_CELLS,
+    FIG14_CELLS,
+    FIG15_CELLS,
+    FIG16_CELLS,
+    Harness,
+    restrict,
+)
+
+__all__ = [
+    "fig7_cpu_scaling",
+    "fig13_nocmap_speedups",
+    "fig14_cmap_sizes",
+    "fig15_pe_scaling",
+    "fig16_traffic",
+    "speedup_attribution",
+    "geometric_mean",
+    "render_series",
+]
+
+UNLIMITED_CMAP = 1 << 22  # 4 MB: effectively unbounded for these graphs
+CMAP_SIZES = (0, 1024, 4096, 8192, 16384, UNLIMITED_CMAP)
+PE_SWEEP_FIG13 = (10, 20, 40)
+PE_SWEEP_FIG15 = (1, 2, 4, 8, 16, 32, 64)
+
+
+def geometric_mean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — CPU k-CL thread scaling
+# ----------------------------------------------------------------------
+def fig7_cpu_scaling(
+    harness: Harness,
+    *,
+    app: str = "4-CL",
+    dataset: str = "Or",
+    threads: Tuple[int, ...] = (1, 2, 4, 8, 10, 12, 16, 20, 24),
+) -> Dict[int, Dict[str, float]]:
+    """Performance and bandwidth vs thread count (paper Fig. 7).
+
+    Performance is normalized to one thread; bandwidth is the touched
+    bytes divided by the modelled runtime.
+    """
+    _, result = harness.cpu(app, dataset, threads=20)
+    counters = result.counters
+    base = cpu_time_seconds(counters, harness.cpu_config, threads=1)
+    series: Dict[int, Dict[str, float]] = {}
+    for t in threads:
+        seconds = cpu_time_seconds(counters, harness.cpu_config, threads=t)
+        series[t] = {
+            "speedup": base / seconds,
+            "bandwidth_gbs": counters.adjacency_bytes / seconds / 1e9,
+        }
+    return series
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — FlexMiner (no c-map) vs GraphZero-20T
+# ----------------------------------------------------------------------
+def fig13_nocmap_speedups(
+    harness: Harness,
+    *,
+    pe_sweep: Tuple[int, ...] = PE_SWEEP_FIG13,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """speedup[app][dataset][num_pes] over the 20-thread CPU baseline."""
+    out: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for app, datasets in restrict(FIG13_CELLS).items():
+        out[app] = {}
+        for ds in datasets:
+            out[app][ds] = {
+                pes: harness.speedup(app, ds, num_pes=pes, cmap_bytes=0)
+                for pes in pe_sweep
+            }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 — c-map size sweep at 20 PEs, normalized to no-cmap
+# ----------------------------------------------------------------------
+def fig14_cmap_sizes(
+    harness: Harness,
+    *,
+    sizes: Tuple[int, ...] = CMAP_SIZES,
+    num_pes: int = 20,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """normalized_perf[app][dataset][cmap_bytes] (no-cmap == 1.0)."""
+    out: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for app, datasets in restrict(FIG14_CELLS).items():
+        out[app] = {}
+        for ds in datasets:
+            base = harness.sim(app, ds, num_pes=num_pes, cmap_bytes=0)
+            out[app][ds] = {}
+            for size in sizes:
+                report = harness.sim(
+                    app, ds, num_pes=num_pes, cmap_bytes=size
+                )
+                out[app][ds][size] = base.cycles / report.cycles
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 — PE scaling with the 8 kB c-map, normalized to one PE
+# ----------------------------------------------------------------------
+def fig15_pe_scaling(
+    harness: Harness,
+    *,
+    pe_sweep: Tuple[int, ...] = PE_SWEEP_FIG15,
+    cmap_bytes: int = 8 * 1024,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """scaling[app][dataset][num_pes], normalized to the 1-PE run."""
+    out: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for app, datasets in restrict(FIG15_CELLS).items():
+        out[app] = {}
+        for ds in datasets:
+            base = harness.sim(
+                app, ds, num_pes=pe_sweep[0], cmap_bytes=cmap_bytes
+            )
+            out[app][ds] = {
+                pes: base.cycles
+                / harness.sim(
+                    app, ds, num_pes=pes, cmap_bytes=cmap_bytes
+                ).cycles
+                for pes in pe_sweep
+            }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 16 — NoC traffic and DRAM accesses vs c-map size
+# ----------------------------------------------------------------------
+def fig16_traffic(
+    harness: Harness,
+    *,
+    sizes: Tuple[int, ...] = (0, 4096, 8192),
+    num_pes: int = 20,
+) -> Dict[str, Dict[str, Dict[int, Dict[str, int]]]]:
+    """traffic[app][dataset][cmap_bytes] = {noc, dram} request counts."""
+    out: Dict[str, Dict[str, Dict[int, Dict[str, int]]]] = {}
+    for app, datasets in restrict(FIG16_CELLS).items():
+        out[app] = {}
+        for ds in datasets:
+            out[app][ds] = {}
+            for size in sizes:
+                report = harness.sim(
+                    app, ds, num_pes=num_pes, cmap_bytes=size
+                )
+                out[app][ds][size] = {
+                    "noc": report.noc_requests,
+                    "dram": report.dram_accesses,
+                }
+    return out
+
+
+# ----------------------------------------------------------------------
+# §VII-E — speedup attribution
+# ----------------------------------------------------------------------
+def speedup_attribution(
+    harness: Harness,
+    *,
+    app: str = "4-CL",
+    dataset: str = "Mi",
+    num_pes: int = 40,
+) -> Dict[str, float]:
+    """Decompose the no-cmap speedup into specialization x multithreading,
+    and measure the extra c-map factor (paper: 3.04 x 1.76, then 1.36x).
+
+    * specialization — one PE vs one CPU thread on identical work;
+    * multithreading — what scaling to ``num_pes`` PEs adds over that,
+      relative to the baseline's 20 threads;
+    * cmap_gain — 8 kB c-map vs no-cmap at ``num_pes`` PEs.
+    """
+    cpu_1t, _ = harness.cpu(app, dataset, threads=1)
+    one_pe = harness.sim(app, dataset, num_pes=1, cmap_bytes=0)
+    specialization = cpu_1t / one_pe.seconds
+
+    total = harness.speedup(app, dataset, num_pes=num_pes, cmap_bytes=0)
+    multithreading = total / specialization
+
+    with_cmap = harness.sim(
+        app, dataset, num_pes=num_pes, cmap_bytes=8 * 1024
+    )
+    no_cmap = harness.sim(app, dataset, num_pes=num_pes, cmap_bytes=0)
+    return {
+        "specialization": specialization,
+        "multithreading": multithreading,
+        "total_no_cmap": total,
+        "cmap_gain": no_cmap.cycles / with_cmap.cycles,
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_series(
+    title: str,
+    series: Dict[str, Dict[str, Dict[int, float]]],
+    *,
+    key_format=lambda k: str(k),
+    value_format=lambda v: f"{v:6.2f}",
+) -> str:
+    """Uniform text rendering for the app -> dataset -> sweep tables."""
+    lines = [title]
+    for app, per_ds in series.items():
+        for ds, sweep in per_ds.items():
+            cells = "  ".join(
+                f"{key_format(k)}={value_format(v)}"
+                for k, v in sweep.items()
+            )
+            lines.append(f"  {app:<11s} {ds:<3s} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Experiment harness: the workload grid of the paper's evaluation.
+
+One process-wide :class:`Harness` memoizes simulator and CPU-model runs
+so figures that share cells (Fig. 14 and Fig. 16, for instance) pay for
+each simulation once.  The per-figure dataset selections follow the
+paper's x-axes exactly (e.g. 5-CL only on As and Pa).
+
+Set the ``REPRO_BENCH_QUICK`` environment variable to restrict every
+sweep to its cheapest cells — useful while iterating.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler import compile_motifs, compile_pattern
+from ..engine import MiningResult
+from ..graph import CSRGraph, load_dataset
+from ..hw import FlexMinerConfig, SimReport, simulate
+from ..patterns import diamond, four_cycle, k_clique, triangle
+from .cpumodel import CpuModelConfig, graphzero_time
+
+__all__ = [
+    "APP_PLANS",
+    "FIG13_CELLS",
+    "FIG14_CELLS",
+    "FIG15_CELLS",
+    "FIG16_CELLS",
+    "Harness",
+    "get_harness",
+]
+
+
+def _plan(app: str):
+    builders = {
+        "TC": lambda: compile_pattern(triangle()),
+        "4-CL": lambda: compile_pattern(k_clique(4)),
+        "5-CL": lambda: compile_pattern(k_clique(5)),
+        "SL-4cycle": lambda: compile_pattern(four_cycle()),
+        "SL-diamond": lambda: compile_pattern(diamond()),
+        "3-MC": lambda: compile_motifs(3),
+    }
+    return builders[app]()
+
+
+APP_PLANS = ("TC", "4-CL", "5-CL", "SL-4cycle", "SL-diamond", "3-MC")
+
+#: Per-figure (app -> datasets) grids, matching the paper's x-axes.
+FIG13_CELLS: Dict[str, List[str]] = {
+    "TC": ["As", "Mi", "Pa", "Yo", "Lj"],
+    "4-CL": ["As", "Mi", "Pa", "Yo"],
+    "5-CL": ["As", "Pa"],
+    "SL-4cycle": ["As", "Mi", "Pa"],
+    "SL-diamond": ["As", "Mi", "Pa"],
+    "3-MC": ["As", "Mi", "Pa", "Yo"],
+}
+FIG14_CELLS: Dict[str, List[str]] = {
+    "TC": ["As", "Mi", "Pa", "Yo", "Lj"],
+    "4-CL": ["As", "Mi", "Pa", "Yo"],
+    "5-CL": ["As", "Pa"],
+    "SL-4cycle": ["As", "Mi", "Pa"],
+    "SL-diamond": ["As", "Mi", "Pa"],
+    "3-MC": ["As", "Mi", "Pa"],
+}
+#: Fig. 15 scales PEs 1..64; we sweep a representative cell per app.
+FIG15_CELLS: Dict[str, List[str]] = {
+    "TC": ["As", "Mi", "Pa"],
+    "4-CL": ["As", "Mi", "Pa"],
+}
+#: Fig. 16 reports NoC/DRAM traffic for the c-map-sensitive apps.
+FIG16_CELLS: Dict[str, List[str]] = {
+    "TC": ["As", "Mi", "Pa"],
+    "4-CL": ["As", "Mi", "Pa"],
+    "SL-4cycle": ["As", "Mi", "Pa"],
+    "SL-diamond": ["As", "Mi", "Pa"],
+}
+
+_QUICK_ENV = "REPRO_BENCH_QUICK"
+
+
+def quick_mode() -> bool:
+    return bool(os.environ.get(_QUICK_ENV))
+
+
+def restrict(cells: Dict[str, List[str]]) -> Dict[str, List[str]]:
+    """Quick mode: only the cheapest dataset per app."""
+    if not quick_mode():
+        return cells
+    return {app: datasets[:1] for app, datasets in cells.items()}
+
+
+class Harness:
+    """Memoizing runner over (app, dataset, hardware config) cells."""
+
+    def __init__(self, cpu_config: Optional[CpuModelConfig] = None) -> None:
+        self.cpu_config = cpu_config or CpuModelConfig()
+        self._plans: Dict[str, object] = {}
+        self._sim_cache: Dict[Tuple, SimReport] = {}
+        self._cpu_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
+
+    def plan(self, app: str):
+        if app not in self._plans:
+            self._plans[app] = _plan(app)
+        return self._plans[app]
+
+    def graph(self, dataset: str) -> CSRGraph:
+        return load_dataset(dataset)
+
+    #: Depth-1 slice size for straggler-task splitting.  The paper's
+    #: full-size inputs provide millions of tasks per figure cell; the
+    #: scaled stand-ins do not, so one power-law hub can serialize a
+    #: schedule and mask PE scaling.  Splitting hub tasks restores the
+    #: paper's task-abundance regime (DESIGN.md §2; the ablation bench
+    #: quantifies the effect).  Multi-pattern plans run unsplit.
+    TASK_SPLIT_DEGREE = 32
+
+    def sim(
+        self,
+        app: str,
+        dataset: str,
+        *,
+        num_pes: int = 64,
+        cmap_bytes: int = 8 * 1024,
+    ) -> SimReport:
+        """Simulate one cell (memoized)."""
+        key = (app, dataset, num_pes, cmap_bytes)
+        if key not in self._sim_cache:
+            split = None if app == "3-MC" else self.TASK_SPLIT_DEGREE
+            config = FlexMinerConfig(
+                num_pes=num_pes,
+                cmap_bytes=cmap_bytes,
+                task_split_degree=split,
+            )
+            self._sim_cache[key] = simulate(
+                self.graph(dataset), self.plan(app), config
+            )
+        return self._sim_cache[key]
+
+    def cpu(
+        self, app: str, dataset: str, *, threads: int = 20
+    ) -> Tuple[float, MiningResult]:
+        """GraphZero-model CPU run for one cell (memoized)."""
+        key = (app, dataset, threads)
+        if key not in self._cpu_cache:
+            self._cpu_cache[key] = graphzero_time(
+                self.graph(dataset),
+                self.plan(app),
+                self.cpu_config,
+                threads=threads,
+            )
+        return self._cpu_cache[key]
+
+    def speedup(
+        self,
+        app: str,
+        dataset: str,
+        *,
+        num_pes: int,
+        cmap_bytes: int = 8 * 1024,
+        threads: int = 20,
+    ) -> float:
+        """FlexMiner speedup over the 20-thread CPU baseline."""
+        cpu_seconds, cpu_result = self.cpu(app, dataset, threads=threads)
+        report = self.sim(
+            app, dataset, num_pes=num_pes, cmap_bytes=cmap_bytes
+        )
+        if report.counts != cpu_result.counts:
+            raise AssertionError(
+                f"count mismatch on {app}/{dataset}: "
+                f"sim={report.counts} cpu={cpu_result.counts}"
+            )
+        return cpu_seconds / report.seconds
+
+
+_GLOBAL: Optional[Harness] = None
+
+
+def get_harness() -> Harness:
+    """Process-wide shared harness (benches reuse each other's cells)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = Harness()
+    return _GLOBAL

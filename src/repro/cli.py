@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Examples::
+
+    flexminer compile 4-cycle                 # print the execution-plan IR
+    flexminer mine triangle --dataset Mi      # software mining
+    flexminer sim diamond --dataset As --pes 20 --cmap-kb 8
+    flexminer motifs 3 --dataset As
+    flexminer datasets                        # Table I for the suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .bench import cpu_time_seconds, render_table1
+from .compiler import compile_motifs, compile_pattern, emit_ir, emit_multi_ir
+from .engine import PatternAwareEngine, mine_multi
+from .graph import CSRGraph, load_dataset, load_graph
+from .hw import FlexMinerConfig, simulate
+from .patterns import from_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flexminer",
+        description="FlexMiner (ISCA 2021) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser(
+        "compile", help="print the execution-plan IR for a pattern"
+    )
+    compile_p.add_argument("pattern", help="pattern name, e.g. 4-cycle")
+    compile_p.add_argument(
+        "--induced", action="store_true", help="vertex-induced semantics"
+    )
+
+    for name, help_text in (
+        ("mine", "mine with the software engine"),
+        ("sim", "simulate the FlexMiner accelerator"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("pattern")
+        p.add_argument("--dataset", default="As", help="suite name (Table I)")
+        p.add_argument("--graph", help="edge-list/.mtx file instead")
+        p.add_argument("--induced", action="store_true")
+        if name == "sim":
+            p.add_argument("--pes", type=int, default=64)
+            p.add_argument("--cmap-kb", type=int, default=8)
+
+    motifs_p = sub.add_parser("motifs", help="k-motif counting")
+    motifs_p.add_argument("k", type=int)
+    motifs_p.add_argument("--dataset", default="As")
+    motifs_p.add_argument("--graph")
+
+    sub.add_parser("datasets", help="print Table I for the suite")
+
+    validate_p = sub.add_parser(
+        "validate", help="empirically validate an IR plan file"
+    )
+    validate_p.add_argument("ir_file", help="path to an IR text file")
+    validate_p.add_argument("--trials", type=int, default=20)
+
+    estimate_p = sub.add_parser(
+        "estimate", help="per-level search-tree size estimates"
+    )
+    estimate_p.add_argument("pattern")
+    estimate_p.add_argument("--dataset", default="As")
+    estimate_p.add_argument("--graph")
+    estimate_p.add_argument(
+        "--measure", action="store_true",
+        help="also measure exact level sizes",
+    )
+    return parser
+
+
+def _load(args) -> CSRGraph:
+    if getattr(args, "graph", None):
+        return load_graph(args.graph)
+    return load_dataset(args.dataset)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        print(render_table1())
+        return 0
+
+    if args.command == "compile":
+        plan = compile_pattern(from_name(args.pattern), induced=args.induced)
+        print(emit_ir(plan), end="")
+        return 0
+
+    if args.command == "validate":
+        from .compiler import parse_ir, validate_plan
+
+        with open(args.ir_file) as f:
+            plan = parse_ir(f.read())
+        result = validate_plan(plan, trials=args.trials)
+        print(result.message())
+        return 0 if result else 1
+
+    if args.command == "estimate":
+        from .compiler import estimate_plan, measure_levels
+
+        graph = _load(args)
+        plan = compile_pattern(from_name(args.pattern))
+        estimated = estimate_plan(plan, graph)
+        measured = (
+            measure_levels(plan, graph) if args.measure else None
+        )
+        print(f"{'depth':>6s}{'estimated':>14s}"
+              + (f"{'measured':>14s}" if measured else ""))
+        for i, level in enumerate(estimated):
+            row = f"{level.depth:>6d}{level.nodes:>14.1f}"
+            if measured:
+                row += f"{measured[i].nodes:>14.1f}"
+            print(row)
+        return 0
+
+    if args.command == "motifs":
+        graph = _load(args)
+        plan = compile_motifs(args.k)
+        print(emit_multi_ir(plan))
+        result = mine_multi(graph, plan)
+        for pattern, count in zip(plan.patterns, result.counts):
+            print(f"{pattern.name:<16s}{count:>12d}")
+        return 0
+
+    graph = _load(args)
+    plan = compile_pattern(from_name(args.pattern), induced=args.induced)
+
+    if args.command == "mine":
+        result = PatternAwareEngine(graph, plan).run()
+        seconds = cpu_time_seconds(result.counters)
+        print(f"matches: {result.counts[0]}")
+        print(f"CPU-20T model: {seconds * 1e3:.3f} ms")
+        print(f"set-op iterations: {result.counters.setop_iterations}")
+        return 0
+
+    if args.command == "sim":
+        config = FlexMinerConfig(
+            num_pes=args.pes, cmap_bytes=args.cmap_kb * 1024
+        )
+        report = simulate(graph, plan, config)
+        print(report.summary())
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":
+    sys.exit(main())

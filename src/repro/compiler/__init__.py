@@ -1,0 +1,50 @@
+"""The FlexMiner compiler: pattern analysis and execution-plan generation."""
+
+from .matching_order import (
+    choose_matching_order,
+    connected_ancestors,
+    enumerate_matching_orders,
+    score_matching_order,
+)
+from .symmetry import symmetry_conditions, transitive_reduction
+from .plan import ExecutionPlan, MultiPlan, PlanNode, VertexStep
+from .hints import assign_frontier_hints, cmap_insert_hints, cmap_needed_depths
+from .compiler import compile_motifs, compile_multi, compile_pattern
+from .estimate import (
+    GraphProfile,
+    LevelEstimate,
+    choose_matching_order_for_graph,
+    estimate_plan,
+    measure_levels,
+)
+from .ir import emit_ir, emit_multi_ir, parse_ir
+from .validate import PlanValidation, validate_plan
+
+__all__ = [
+    "choose_matching_order",
+    "connected_ancestors",
+    "enumerate_matching_orders",
+    "score_matching_order",
+    "symmetry_conditions",
+    "transitive_reduction",
+    "ExecutionPlan",
+    "MultiPlan",
+    "PlanNode",
+    "VertexStep",
+    "assign_frontier_hints",
+    "cmap_insert_hints",
+    "cmap_needed_depths",
+    "compile_pattern",
+    "compile_multi",
+    "compile_motifs",
+    "emit_ir",
+    "emit_multi_ir",
+    "parse_ir",
+    "GraphProfile",
+    "LevelEstimate",
+    "estimate_plan",
+    "measure_levels",
+    "choose_matching_order_for_graph",
+    "PlanValidation",
+    "validate_plan",
+]

@@ -1,0 +1,202 @@
+"""The FlexMiner compiler: pattern(s) in, execution plan out (paper §V).
+
+``compile_pattern`` performs the full pattern analysis pipeline:
+
+1. choose a matching order (density-first rule);
+2. generate the symmetry order (orbit/stabilizer construction), or detect
+   a k-clique and switch to the orientation technique instead (§V-C);
+3. build one :class:`~repro.compiler.plan.VertexStep` per level with the
+   pruneBy constraints;
+4. attach frontier-memoization and c-map management hints.
+
+``compile_multi`` compiles several patterns and merges their dependency
+chains into a tree with common prefixes shared (§V-B), which is how k-MC
+mines every k-motif in a single pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import CompileError
+from ..patterns import Pattern, enumerate_motifs
+from .hints import assign_frontier_hints, cmap_insert_hints
+from .matching_order import choose_matching_order, connected_ancestors
+from .plan import ExecutionPlan, MultiPlan, PlanNode, VertexStep
+from .symmetry import symmetry_conditions
+
+__all__ = ["compile_pattern", "compile_multi", "compile_motifs"]
+
+
+def compile_pattern(
+    pattern: Pattern,
+    *,
+    induced: bool = False,
+    use_orientation: Optional[bool] = None,
+    matching_order: Optional[Sequence[int]] = None,
+) -> ExecutionPlan:
+    """Compile one pattern into an execution plan.
+
+    Parameters
+    ----------
+    pattern:
+        The connected query pattern.
+    induced:
+        Vertex-induced semantics (k-MC style): candidates must also be
+        *dis*connected from the non-ancestor embedding vertices.
+    use_orientation:
+        Force the k-clique orientation optimization on/off.  The default
+        (None) auto-detects: cliques use orientation, everything else
+        uses a symmetry order.  Orientation on a non-clique is rejected.
+    matching_order:
+        Override the automatically chosen matching order (used by tests
+        and the matching-order ablation bench).
+    """
+    if not pattern.is_connected():
+        raise CompileError("pattern must be connected")
+    if pattern.num_vertices < 2:
+        raise CompileError("pattern must have at least 2 vertices")
+
+    # Orientation replaces the symmetry order by assuming the *full*
+    # automorphism group of a clique (k! permutations).  A labeled
+    # clique with mixed labels has a smaller group — rank-ordering its
+    # vertices would silently drop matches — so orientation requires a
+    # uniform label vector.
+    is_clique = pattern.is_clique() and len(set(pattern.labels)) == 1
+    if use_orientation is None:
+        use_orientation = is_clique
+    if use_orientation and not is_clique:
+        raise CompileError(
+            "orientation only applies to uniformly labeled cliques"
+        )
+
+    if matching_order is None:
+        order = choose_matching_order(pattern)
+    else:
+        order = tuple(matching_order)
+        if sorted(order) != list(pattern.vertices()):
+            raise CompileError("matching_order must permute pattern vertices")
+        ca_check = connected_ancestors(pattern, order)
+        if any(not ca for ca in ca_check[1:]):
+            raise CompileError("matching_order must be a connected order")
+
+    ca_sets = connected_ancestors(pattern, order)
+    conditions = (
+        () if use_orientation else symmetry_conditions(pattern, order)
+    )
+
+    steps = _build_steps(pattern, order, ca_sets, conditions, induced=induced)
+    steps = tuple(assign_frontier_hints(steps))
+    insert_depths, filters = cmap_insert_hints(steps)
+
+    return ExecutionPlan(
+        pattern=pattern,
+        matching_order=order,
+        steps=steps,
+        induced=induced,
+        oriented=use_orientation,
+        root_label=pattern.label(order[0]),
+        symmetry_conditions=conditions,
+        cmap_insert_depths=insert_depths,
+        cmap_insert_filter=filters,
+    )
+
+
+def _build_steps(
+    pattern: Pattern,
+    order: Tuple[int, ...],
+    ca_sets: Sequence[Tuple[int, ...]],
+    conditions: Sequence[Tuple[int, int]],
+    *,
+    induced: bool,
+) -> List[VertexStep]:
+    k = pattern.num_vertices
+    steps: List[VertexStep] = []
+    for depth in range(1, k):
+        ca = ca_sets[depth]
+        if not ca:
+            raise CompileError(
+                f"vertex at depth {depth} has no connected ancestor"
+            )
+        # Iterate the most recently matched connected ancestor's list;
+        # the rest become c-map/SIU connectivity checks (Listing 1 shape).
+        extender = max(ca)
+        connected = tuple(j for j in ca if j != extender)
+        disconnected: Tuple[int, ...] = ()
+        if induced:
+            disconnected = tuple(
+                j for j in range(depth) if j not in ca
+            )
+        upper = tuple(
+            sorted(a for a, b in conditions if b == depth)
+        )
+        steps.append(
+            VertexStep(
+                depth=depth,
+                extender=extender,
+                connected=connected,
+                disconnected=disconnected,
+                upper_bounds=upper,
+                label=pattern.label(order[depth]),
+            )
+        )
+    return steps
+
+
+def compile_multi(
+    patterns: Sequence[Pattern], *, induced: bool = True
+) -> MultiPlan:
+    """Compile several same-size patterns into a merged dependency tree.
+
+    Each pattern is compiled independently, then the step chains are
+    merged from the root: two chains share a node while their steps are
+    identical (same extender, constraints, and bounds).  Children of a
+    node are explored sequentially by the engine, like the emb31/emb32
+    branches of Listing 2.
+    """
+    if not patterns:
+        raise CompileError("need at least one pattern")
+    sizes = {p.num_vertices for p in patterns}
+    if len(sizes) != 1:
+        raise CompileError("multi-pattern plans need same-size patterns")
+    if any(p.is_labeled for p in patterns):
+        raise CompileError(
+            "multi-pattern plans do not support labeled patterns; "
+            "compile them individually"
+        )
+
+    plans = [compile_pattern(p, induced=induced, use_orientation=False)
+             for p in patterns]
+
+    root = PlanNode(step=None)
+    for index, plan in enumerate(plans):
+        node = root
+        for step in plan.steps:
+            match = next(
+                (c for c in node.children if c.step == step), None
+            )
+            if match is None:
+                match = PlanNode(step=step)
+                node.children.append(match)
+            node = match
+        if node.pattern_index is not None:
+            raise CompileError(
+                "two patterns compiled to identical plans; are they "
+                "duplicates?"
+            )
+        node.pattern_index = index
+
+    insert_depths = sorted(
+        {d for plan in plans for d in plan.cmap_insert_depths}
+    )
+    return MultiPlan(
+        patterns=tuple(patterns),
+        root=root,
+        induced=induced,
+        cmap_insert_depths=tuple(insert_depths),
+    )
+
+
+def compile_motifs(k: int) -> MultiPlan:
+    """Compile the k-MC problem: all connected k-vertex motifs at once."""
+    return compile_multi(enumerate_motifs(k), induced=True)

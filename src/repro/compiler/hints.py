@@ -1,0 +1,150 @@
+"""On-chip storage management hints (paper §V-C and §VI-B).
+
+The compiler decorates the execution plan with two kinds of hints:
+
+* **frontier-list composition** — each step starts from the deepest
+  earlier frontier whose constraints are a subset of its own, and only
+  applies the *remaining* constraints.  This generalizes both paper
+  examples: the diamond's last step reuses ``adj(v0) ∩ adj(v1)`` with an
+  empty remainder, and a k-clique's step d computes
+  ``frontier(d-1) ∩ adj(v_{d-1})`` instead of re-intersecting every
+  ancestor's edgelist;
+* **c-map management** — only ancestors whose connectivity information is
+  actually consumed later get their neighbors inserted into the c-map,
+  and inserted ids can be pre-filtered against a vid upper bound shared
+  by every consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .plan import VertexStep
+
+__all__ = [
+    "assign_frontier_hints",
+    "cmap_insert_hints",
+    "cmap_needed_depths",
+]
+
+
+def _constraint_sets(step: VertexStep) -> Tuple[frozenset, frozenset]:
+    """(must-be-adjacent depths, must-not-be-adjacent depths)."""
+    return frozenset(step.full_connected), frozenset(step.disconnected)
+
+
+def assign_frontier_hints(steps: Sequence[VertexStep]) -> List[VertexStep]:
+    """Fill in base_step / remainders / memoize_frontier on each step.
+
+    A step's base is the earlier step j whose raw candidate set (all
+    vertices adjacent to CA(j) and non-adjacent to D(j), unbounded) is a
+    superset of this step's target set: CA(j) ⊆ CA(d) and D(j) ⊆ D(d).
+    Among valid bases the one covering the most constraints wins (deepest
+    step on ties, since deeper frontiers are smaller).  Bases with no
+    constraints (bare adjacency lists) are skipped — composing with them
+    is identical to loading the edgelist directly.
+    """
+    out: List[VertexStep] = []
+    for step in steps:
+        conn, disc = _constraint_sets(step)
+        best: Optional[VertexStep] = None
+        best_cover = 0
+        for prior in out:
+            p_conn, p_disc = _constraint_sets(prior)
+            if len(p_conn) + len(p_disc) <= 1:
+                continue  # bare adjacency: nothing memoized to reuse
+            if p_conn <= conn and p_disc <= disc:
+                cover = len(p_conn) + len(p_disc)
+                if cover >= best_cover:
+                    best, best_cover = prior, cover
+        if best is None:
+            out.append(step)
+            continue
+        b_conn, b_disc = _constraint_sets(best)
+        out.append(
+            replace(
+                step,
+                base_step=best.depth,
+                extra_connected=tuple(sorted(conn - b_conn)),
+                extra_disconnected=tuple(sorted(disc - b_disc)),
+            )
+        )
+
+    used_as_base = {s.base_step for s in out if s.base_step is not None}
+    return [
+        step
+        if step.depth not in used_as_base
+        else replace(step, memoize_frontier=True)
+        for step in out
+    ]
+
+
+def cmap_needed_depths(step: VertexStep) -> Tuple[int, ...]:
+    """Depths whose connectivity info this step consumes via the c-map.
+
+    Without a base, candidates iterate the extender's adjacency, so the
+    extender check is implicit and excluded.  With a base frontier the
+    candidates iterate the memoized list instead, and every remaining
+    constraint — the extender included — is a live c-map check.
+    """
+    if step.base_step is not None:
+        live = set(step.extra_connected) | set(step.extra_disconnected)
+    else:
+        live = set(step.connected) | set(step.disconnected)
+    return tuple(sorted(live))
+
+
+def cmap_insert_hints(
+    steps: Sequence[VertexStep],
+) -> Tuple[Tuple[int, ...], Dict[int, Optional[int]]]:
+    """Which depths to insert into the c-map, and the insert-time filters.
+
+    Returns ``(insert_depths, filters)``.  A depth j is inserted only if
+    some later step checks connectivity against it (paper: for 4-cycle
+    only one ancestor's neighbors enter the c-map).  ``filters[j]`` is a
+    depth b whose runtime vertex id upper-bounds useful insertions,
+    present only when *every* consumer bounds its candidates by the same
+    earlier depth (paper: v1's neighbors above v0's id are never
+    queried).
+    """
+    # A step consumes a depth directly through its own c-map checks, and
+    # *indirectly* through any frontier it (transitively) composes on:
+    # the memoized list was shaped by the insert-time filter, so every
+    # descendant's bounds must respect it too.
+    by_depth = {step.depth: step for step in steps}
+    consumed: Dict[int, set] = {}
+    for step in steps:
+        checks = set(cmap_needed_depths(step))
+        base = step.base_step
+        while base is not None:
+            checks |= consumed.get(base, set())
+            base = by_depth[base].base_step
+        consumed[step.depth] = checks
+
+    consumers: Dict[int, List[VertexStep]] = {}
+    for step in steps:
+        for j in sorted(consumed[step.depth]):
+            consumers.setdefault(j, []).append(step)
+
+    # Profitability: inserting depth j costs ~2 cycles per entry (bulk
+    # insert + stack delete).  A consumer at depth j+1 runs exactly once
+    # per insertion and saves only one merge operand, a net loss; a
+    # consumer deeper than j+1 runs once per *node* of every intermediate
+    # level, amortizing the insertion many times over (the 4-cycle case,
+    # §VI-B).  Only insert depths with such a consumer.
+    consumers = {
+        j: steps_using
+        for j, steps_using in consumers.items()
+        if any(s.depth > j + 1 for s in steps_using)
+    }
+
+    insert_depths = tuple(sorted(consumers))
+    filters: Dict[int, Optional[int]] = {}
+    for j, steps_using in consumers.items():
+        bounds = [set(s.upper_bounds) for s in steps_using]
+        common = set.intersection(*bounds) if bounds else set()
+        # The filter value must be known when depth j is placed: b < j.
+        usable = sorted(b for b in common if b < j)
+        filters[j] = usable[0] if usable else None
+    return insert_depths, filters

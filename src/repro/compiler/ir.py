@@ -1,0 +1,275 @@
+"""Textual intermediate representation for execution plans (paper §V-A).
+
+The IR mirrors Listing 1/2 of the paper: a *vertex section* describing the
+candidate set and pruneBy constraints per extension step, and an
+*embedding section* describing the dependency chain (or tree, for
+multi-pattern plans).  Hint annotations carry the frontier and c-map
+management information of §V-C/§VI-B.
+
+Example (4-cycle)::
+
+    plan "4-cycle" k=4 edges=(0,1),(0,3),(1,2),(2,3)
+    options induced=false oriented=false order=0,1,3,2
+    vertex:
+      v0 in V pruneBy(inf, {})
+      v1 in v0.N pruneBy(v0, {})
+      v2 in v0.N pruneBy(v1, {})
+      v3 in v2.N pruneBy(v0, {v1})
+    embedding:
+      emb0 := v0
+      emb1 := emb0 + v1
+      emb2 := emb1 + v2
+      emb3 := emb2 + v3
+    cmap:
+      insert v1 filter v0
+
+Single-pattern plans round-trip (``emit_ir`` then ``parse_ir``).  Tree
+plans for multi-pattern problems are emitted for inspection and loading
+into the simulated hardware but are reconstructed from patterns rather
+than parsed back.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IRSyntaxError
+from ..patterns import Pattern
+from .plan import ExecutionPlan, MultiPlan, PlanNode, VertexStep
+
+__all__ = ["emit_ir", "parse_ir", "emit_multi_ir"]
+
+
+def emit_ir(plan: ExecutionPlan) -> str:
+    """Serialize a single-pattern execution plan to IR text."""
+    p = plan.pattern
+    edges = ",".join(f"({u},{v})" for u, v in p.edges)
+    header = f'plan "{p.name or "pattern"}" k={p.num_vertices} edges={edges}'
+    if p.is_labeled:
+        encoded = ",".join(
+            "_" if lab is None else str(lab) for lab in p.labels
+        )
+        header += f" labels={encoded}"
+    lines = [
+        header,
+        "options induced={} oriented={} order={}".format(
+            str(plan.induced).lower(),
+            str(plan.oriented).lower(),
+            ",".join(map(str, plan.matching_order)),
+        ),
+        "vertex:",
+        "  v0 in V pruneBy(inf, {})",
+    ]
+    for step in plan.steps:
+        lines.append("  " + _format_step(step))
+    lines.append("embedding:")
+    lines.append("  emb0 := v0")
+    for step in plan.steps:
+        d = step.depth
+        lines.append(f"  emb{d} := emb{d - 1} + v{d}")
+    if plan.cmap_insert_depths:
+        lines.append("cmap:")
+        for d in plan.cmap_insert_depths:
+            flt = plan.cmap_insert_filter.get(d)
+            suffix = f" filter v{flt}" if flt is not None else ""
+            lines.append(f"  insert v{d}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_step(step: VertexStep) -> str:
+    bound = (
+        "inf"
+        if not step.upper_bounds
+        else ",".join(f"v{b}" for b in step.upper_bounds)
+    )
+    conn = ",".join(f"v{c}" for c in step.connected)
+    text = (
+        f"v{step.depth} in v{step.extender}.N "
+        f"pruneBy({bound}, {{{conn}}})"
+    )
+    if step.label is not None:
+        text += f" label({step.label})"
+    if step.disconnected:
+        not_conn = ",".join(f"v{c}" for c in step.disconnected)
+        text += f" notAdj({{{not_conn}}})"
+    if step.base_step is not None:
+        extra_c = ",".join(f"v{c}" for c in step.extra_connected)
+        extra_d = ",".join(f"v{c}" for c in step.extra_disconnected)
+        text += f" base(v{step.base_step}, {{{extra_c}}}, {{{extra_d}}})"
+    if step.memoize_frontier:
+        text += " memoize"
+    return text
+
+
+_PLAN_RE = re.compile(
+    r'^plan\s+"(?P<name>[^"]*)"\s+k=(?P<k>\d+)\s+edges=(?P<edges>\S*)'
+    r"(?:\s+labels=(?P<labels>[\d_,]+))?$"
+)
+_OPTIONS_RE = re.compile(
+    r"^options\s+induced=(?P<induced>true|false)\s+"
+    r"oriented=(?P<oriented>true|false)\s+order=(?P<order>[\d,]+)$"
+)
+_STEP_RE = re.compile(
+    r"^v(?P<d>\d+) in v(?P<ext>\d+)\.N "
+    r"pruneBy\((?P<bound>inf|[v\d,]+), \{(?P<conn>[v\d,]*)\}\)"
+    r"(?: label\((?P<label>\d+)\))?"
+    r"(?: notAdj\(\{(?P<notadj>[v\d,]*)\}\))?"
+    r"(?: base\(v(?P<base>\d+), \{(?P<extrac>[v\d,]*)\}, "
+    r"\{(?P<extrad>[v\d,]*)\}\))?"
+    r"(?P<memo> memoize)?$"
+)
+_CMAP_RE = re.compile(r"^insert v(?P<d>\d+)(?: filter v(?P<f>\d+))?$")
+
+
+def parse_ir(text: str) -> ExecutionPlan:
+    """Parse IR text back into an :class:`ExecutionPlan`.
+
+    Raises :class:`~repro.errors.IRSyntaxError` with a line number on any
+    malformed input.
+    """
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    lines = [ln for ln in lines if ln.strip()]
+    if not lines:
+        raise IRSyntaxError("empty IR")
+
+    header = _PLAN_RE.match(lines[0].strip())
+    if not header:
+        raise IRSyntaxError(f"line 1: bad plan header: {lines[0]!r}")
+    k = int(header.group("k"))
+    edges = _parse_edges(header.group("edges"))
+    labels = None
+    if header.group("labels"):
+        labels = [
+            None if tok == "_" else int(tok)
+            for tok in header.group("labels").split(",")
+        ]
+    pattern = Pattern(k, edges, name=header.group("name"), labels=labels)
+
+    if len(lines) < 2:
+        raise IRSyntaxError("missing options line")
+    options = _OPTIONS_RE.match(lines[1].strip())
+    if not options:
+        raise IRSyntaxError(f"line 2: bad options line: {lines[1]!r}")
+    induced = options.group("induced") == "true"
+    oriented = options.group("oriented") == "true"
+    order = tuple(int(x) for x in options.group("order").split(","))
+
+    section = None
+    steps: List[VertexStep] = []
+    insert_depths: List[int] = []
+    filters: Dict[int, Optional[int]] = {}
+    for lineno, raw in enumerate(lines[2:], start=3):
+        stripped = raw.strip()
+        if stripped in ("vertex:", "embedding:", "cmap:"):
+            section = stripped[:-1]
+            continue
+        if section == "vertex":
+            if stripped == "v0 in V pruneBy(inf, {})":
+                continue
+            m = _STEP_RE.match(stripped)
+            if not m:
+                raise IRSyntaxError(f"line {lineno}: bad vertex line: {raw!r}")
+            steps.append(_step_from_match(m))
+        elif section == "embedding":
+            continue  # derivable from the vertex section for chains
+        elif section == "cmap":
+            m = _CMAP_RE.match(stripped)
+            if not m:
+                raise IRSyntaxError(f"line {lineno}: bad cmap line: {raw!r}")
+            d = int(m.group("d"))
+            insert_depths.append(d)
+            filters[d] = int(m.group("f")) if m.group("f") else None
+        else:
+            raise IRSyntaxError(f"line {lineno}: text outside a section")
+
+    # Recompute symmetry pairs from the per-step bounds, and step labels
+    # from the pattern's label vector (not serialized per step).
+    conditions = tuple(
+        sorted(
+            ((b, s.depth) for s in steps for b in s.upper_bounds),
+            key=lambda c: (c[1], c[0]),
+        )
+    )
+    if pattern.is_labeled:
+        from dataclasses import replace as _replace
+
+        steps = [
+            _replace(s, label=pattern.label(order[s.depth])) for s in steps
+        ]
+    return ExecutionPlan(
+        pattern=pattern,
+        matching_order=order,
+        steps=tuple(steps),
+        induced=induced,
+        oriented=oriented,
+        root_label=pattern.label(order[0]),
+        symmetry_conditions=conditions,
+        cmap_insert_depths=tuple(insert_depths),
+        cmap_insert_filter=filters,
+    )
+
+
+def _parse_edges(text: str) -> List[Tuple[int, int]]:
+    if not text:
+        return []
+    try:
+        return [
+            tuple(int(x) for x in pair.split(","))  # type: ignore[misc]
+            for pair in text.strip("()").split("),(")
+        ]
+    except ValueError as exc:
+        raise IRSyntaxError(f"bad edge list: {text!r}") from exc
+
+
+def _vlist(text: str) -> Tuple[int, ...]:
+    if not text:
+        return ()
+    return tuple(int(tok[1:]) for tok in text.split(","))
+
+
+def _step_from_match(m: "re.Match[str]") -> VertexStep:
+    bound_text = m.group("bound")
+    return VertexStep(
+        depth=int(m.group("d")),
+        extender=int(m.group("ext")),
+        connected=_vlist(m.group("conn")),
+        disconnected=_vlist(m.group("notadj") or ""),
+        upper_bounds=() if bound_text == "inf" else _vlist(bound_text),
+        label=int(m.group("label")) if m.group("label") else None,
+        base_step=int(m.group("base")) if m.group("base") else None,
+        extra_connected=_vlist(m.group("extrac") or ""),
+        extra_disconnected=_vlist(m.group("extrad") or ""),
+        memoize_frontier=bool(m.group("memo")),
+    )
+
+
+def emit_multi_ir(plan: MultiPlan) -> str:
+    """Serialize a multi-pattern plan; the embedding section is a tree."""
+    names = ",".join(f'"{p.name or i}"' for i, p in enumerate(plan.patterns))
+    lines = [
+        f"multiplan k={plan.patterns[0].num_vertices} patterns={names}",
+        f"options induced={str(plan.induced).lower()}",
+        "vertex:",
+        "  v0 in V pruneBy(inf, {})",
+    ]
+    counter = [0]
+    emb_lines: List[str] = ["  emb0 := v0"]
+
+    def walk(node: PlanNode, parent_label: str) -> None:
+        for child in node.children:
+            counter[0] += 1
+            label = f"emb{child.step.depth}_{counter[0]}"
+            lines.append("  " + _format_step(child.step))
+            tail = ""
+            if child.pattern_index is not None:
+                tail = f"  # matches {plan.patterns[child.pattern_index].name}"
+            emb_lines.append(
+                f"  {label} := {parent_label} + v{child.step.depth}{tail}"
+            )
+            walk(child, label)
+
+    walk(plan.root, "emb0")
+    lines.append("embedding:")
+    lines.extend(emb_lines)
+    return "\n".join(lines) + "\n"

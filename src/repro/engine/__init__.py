@@ -1,0 +1,34 @@
+"""Software GPM engines: pattern-aware reference, c-map variant, oblivious baseline."""
+
+from .counters import OpCounters
+from .explore import MiningResult, PatternAwareEngine, mine, mine_multi
+from .cmap_sw import CMapSoftwareEngine, VectorCMap
+from .oblivious import BudgetExceeded, ObliviousEngine, mine_oblivious
+from .partitioned import (
+    PartitionedMiner,
+    PartitionStats,
+    halo_ball,
+    mine_partitioned,
+    partition_vertices,
+)
+from .verify import check_consistency, count_all_ways
+
+__all__ = [
+    "OpCounters",
+    "MiningResult",
+    "PatternAwareEngine",
+    "mine",
+    "mine_multi",
+    "CMapSoftwareEngine",
+    "VectorCMap",
+    "ObliviousEngine",
+    "BudgetExceeded",
+    "mine_oblivious",
+    "check_consistency",
+    "count_all_ways",
+    "PartitionedMiner",
+    "PartitionStats",
+    "halo_ball",
+    "mine_partitioned",
+    "partition_vertices",
+]

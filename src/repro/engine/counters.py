@@ -1,0 +1,52 @@
+"""Operation counters shared by the software engines.
+
+The counters capture the algorithm-level work a GPM execution performs,
+independent of the platform executing it.  The CPU baseline model
+(``repro.bench.cpumodel``) converts them into GraphZero/AutoMine-style
+runtimes; tests use them to verify optimization effects (e.g. frontier
+memoization reducing ``setop_iterations``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["OpCounters"]
+
+
+@dataclass
+class OpCounters:
+    """Work performed during one mining run."""
+
+    #: Root vertices processed (units of coarse-grain parallelism).
+    tasks: int = 0
+    #: Merge-based set intersections / differences executed.
+    set_intersections: int = 0
+    set_differences: int = 0
+    #: Total merge-loop iterations (len(a) + len(b) per operation) — the
+    #: quantity SIU/SDU execute at one per cycle (paper Fig. 9).
+    setop_iterations: int = 0
+    #: Adjacency lists fetched and the bytes they cover (4 B per id).
+    adjacency_loads: int = 0
+    adjacency_bytes: int = 0
+    #: Candidates examined by the pruner (bound + injectivity checks).
+    candidates_checked: int = 0
+    #: Frontier-list memoization hits/misses (paper §V-C).
+    frontier_hits: int = 0
+    frontier_misses: int = 0
+    #: Pattern-oblivious work: subgraphs enumerated and isomorphism tests.
+    subgraphs_enumerated: int = 0
+    isomorphism_tests: int = 0
+    #: Total matches found (sum over patterns).
+    matches: int = 0
+
+    def merge(self, other: "OpCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }

@@ -1,0 +1,292 @@
+"""Pattern-aware DFS mining engine (the GraphZero/AutoMine model).
+
+This is the functional reference for the whole repository: it executes a
+compiled :class:`~repro.compiler.plan.ExecutionPlan` (or multi-pattern
+:class:`~repro.compiler.plan.MultiPlan`) over a data graph exactly the way
+the paper's software baseline does — DFS with matching-order candidate
+generation via merge-based set operations, symmetry-order vid bounds, and
+frontier-list memoization — while counting every unit of algorithmic work
+in an :class:`~repro.engine.counters.OpCounters`.
+
+The FlexMiner hardware simulator walks the same search tree (it must: the
+paper stresses the accelerator has "the same algorithmic efficiency as
+software"); tests assert both produce identical match counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.plan import ExecutionPlan, MultiPlan, PlanNode, VertexStep
+from ..graph import CSRGraph, orient_by_degree
+from .counters import OpCounters
+from .setops import bound_below, difference, intersect, remove_values
+
+__all__ = ["MiningResult", "PatternAwareEngine", "mine", "mine_multi"]
+
+
+def _multi_plan_labeled(plan: MultiPlan) -> bool:
+    def walk(node: PlanNode) -> bool:
+        if node.step is not None and node.step.label is not None:
+            return True
+        return any(walk(c) for c in node.children)
+
+    return walk(plan.root) or getattr(plan, "root_label", None) is not None
+
+
+@dataclass
+class MiningResult:
+    """Outcome of a mining run."""
+
+    #: One count per pattern (single-pattern plans have one entry).
+    counts: Tuple[int, ...]
+    counters: OpCounters
+    #: Matched embeddings as vertex tuples, only when collect=True.
+    embeddings: Optional[List[Tuple[int, ...]]] = None
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+class PatternAwareEngine:
+    """Execute an execution plan over a data graph.
+
+    Parameters
+    ----------
+    graph:
+        The undirected data graph.
+    plan:
+        A single-pattern :class:`ExecutionPlan` or a multi-pattern
+        :class:`MultiPlan`.
+    collect:
+        Record matched embeddings (tests / small inputs only).
+    use_frontier_memo:
+        Honor the plan's frontier-memoization hints.  Disabled for the
+        ablation bench; the paper keeps it always on "for a fair
+        comparison with GraphZero".
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        plan,
+        *,
+        collect: bool = False,
+        use_frontier_memo: bool = True,
+        work_graph: Optional[CSRGraph] = None,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.collect = collect
+        self.use_frontier_memo = use_frontier_memo
+        self.counters = OpCounters()
+        self._multi = isinstance(plan, MultiPlan)
+        oriented = (not self._multi) and plan.oriented
+        if work_graph is not None:
+            # Pre-oriented graph injected by callers that share one DAG
+            # across many engines (e.g. one per simulated PE).
+            self._work_graph = work_graph
+        else:
+            self._work_graph = orient_by_degree(graph) if oriented else graph
+        # Labeled mining: label constraints come from the plan; data
+        # labels (if any) from the graph.  Orientation preserves vertex
+        # ids, so one label array serves both graphs.
+        self._labels = getattr(graph, "labels", None)
+        plan_labeled = (
+            any(s.label is not None for s in plan.steps)
+            or plan.root_label is not None
+            if not self._multi
+            else _multi_plan_labeled(plan)
+        )
+        if plan_labeled and self._labels is None:
+            raise ValueError(
+                "plan carries label constraints but the graph is "
+                "unlabeled; wrap it in a LabeledGraph"
+            )
+        self._num_patterns = plan.num_patterns if self._multi else 1
+        self._counts = [0] * self._num_patterns
+        self._embeddings: List[Tuple[int, ...]] = []
+        # Frontier-list table: raw candidate list per depth on the
+        # current DFS path (the operand of base-step composition, §V-C).
+        depth_limit = (
+            plan.max_depth() if self._multi else plan.num_levels - 1
+        )
+        self._raw_stack: List[Optional[np.ndarray]] = [None] * (
+            depth_limit + 1
+        )
+        self._chunk: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, roots: Optional[Iterable[int]] = None) -> MiningResult:
+        """Mine the whole graph (or the given root vertices only)."""
+        if roots is None:
+            roots = self._work_graph.vertices()
+        root_label = None if self._multi else self.plan.root_label
+        for v0 in roots:
+            if (
+                root_label is not None
+                and int(self._labels[int(v0)]) != root_label
+            ):
+                continue
+            self.run_task(int(v0))
+        self.counters.matches = sum(self._counts)
+        return MiningResult(
+            counts=tuple(self._counts),
+            counters=self.counters,
+            embeddings=self._embeddings if self.collect else None,
+        )
+
+    def run_task(
+        self, v0: int, *, chunk: Optional[Tuple[int, int]] = None
+    ) -> None:
+        """Process the search subtree rooted at data vertex ``v0``.
+
+        ``chunk=(i, n)`` restricts the walk to the i-th of n contiguous
+        slices of the depth-1 candidate list — the fine-grained task
+        splitting the scheduler uses against power-law stragglers.  The
+        union of all n chunks is exactly the unchunked task.  Only
+        single-pattern plans support chunking.
+        """
+        if chunk is not None and self._multi:
+            raise ValueError("task chunking requires a single-pattern plan")
+        self.counters.tasks += 1
+        self._chunk = chunk
+        emb = [v0]
+        self._on_descend(0, emb)
+        if self._multi:
+            self._extend_node(self.plan.root, emb)
+        else:
+            self._extend(1, emb)
+        self._on_backtrack(0, emb)
+        self._chunk = None
+
+    # Hooks for subclasses (the software c-map engine maintains its map
+    # here; the base engine does nothing).
+    def _on_descend(self, depth: int, emb: List[int]) -> None:
+        pass
+
+    def _on_backtrack(self, depth: int, emb: List[int]) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Single-pattern chain walk
+    # ------------------------------------------------------------------
+    def _extend(self, depth: int, emb: List[int]) -> None:
+        step = self.plan.step_at(depth)
+        cands = self._filtered_candidates(step, emb)
+        if depth == 1 and self._chunk is not None:
+            index, total = self._chunk
+            cands = np.array_split(cands, total)[index]
+        if depth == self.plan.num_levels - 1:
+            self._counts[0] += len(cands)
+            if self.collect:
+                self._embeddings.extend(
+                    tuple(emb) + (int(v),) for v in cands
+                )
+            return
+        for v in cands:
+            emb.append(int(v))
+            self._on_descend(depth, emb)
+            self._extend(depth + 1, emb)
+            self._on_backtrack(depth, emb)
+            emb.pop()
+
+    # ------------------------------------------------------------------
+    # Multi-pattern tree walk
+    # ------------------------------------------------------------------
+    def _extend_node(self, node: PlanNode, emb: List[int]) -> None:
+        for child in node.children:
+            cands = self._filtered_candidates(child.step, emb)
+            if child.pattern_index is not None:
+                self._counts[child.pattern_index] += len(cands)
+                if self.collect:
+                    self._embeddings.extend(
+                        tuple(emb) + (int(v),) for v in cands
+                    )
+                continue
+            depth = child.step.depth
+            for v in cands:
+                emb.append(int(v))
+                self._on_descend(depth, emb)
+                self._extend_node(child, emb)
+                self._on_backtrack(depth, emb)
+                emb.pop()
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def _filtered_candidates(
+        self, step: VertexStep, emb: Sequence[int]
+    ) -> np.ndarray:
+        cands = self._raw_candidates(step, emb)
+        self.counters.candidates_checked += len(cands)
+        if step.upper_bounds:
+            bound = min(emb[b] for b in step.upper_bounds)
+            cands = bound_below(cands, bound)
+        if step.label is not None:
+            cands = cands[self._labels[cands] == step.label]
+        return remove_values(cands, emb)
+
+    def _raw_candidates(
+        self, step: VertexStep, emb: Sequence[int]
+    ) -> np.ndarray:
+        """Unbounded candidate set: adj(extender) ∩ adj(connected...)
+        minus adj(disconnected...), via frontier composition when hinted."""
+        if self.use_frontier_memo and step.base_step is not None:
+            self.counters.frontier_hits += 1
+            cands = self._raw_stack[step.base_step]
+            for d in step.extra_connected:
+                cands = intersect(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+            for d in step.extra_disconnected:
+                cands = difference(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+        else:
+            if step.base_step is not None:
+                self.counters.frontier_misses += 1
+            cands = self._load_adjacency(emb[step.extender])
+            for d in step.connected:
+                cands = intersect(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+            for d in step.disconnected:
+                cands = difference(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+        self._raw_stack[step.depth] = cands
+        return cands
+
+    def _load_adjacency(self, v: int) -> np.ndarray:
+        nbrs = self._work_graph.neighbors(v)
+        self.counters.adjacency_loads += 1
+        self.counters.adjacency_bytes += 4 * len(nbrs)
+        return nbrs
+
+
+def mine(
+    graph: CSRGraph,
+    plan: ExecutionPlan,
+    *,
+    collect: bool = False,
+    use_frontier_memo: bool = True,
+) -> MiningResult:
+    """Convenience wrapper: run a single-pattern plan over a graph."""
+    engine = PatternAwareEngine(
+        graph, plan, collect=collect, use_frontier_memo=use_frontier_memo
+    )
+    return engine.run()
+
+
+def mine_multi(
+    graph: CSRGraph, plan: MultiPlan, *, collect: bool = False
+) -> MiningResult:
+    """Convenience wrapper: run a multi-pattern plan over a graph."""
+    return PatternAwareEngine(graph, plan, collect=collect).run()

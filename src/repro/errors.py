@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph input (edge list, CSR arrays, file) is malformed."""
+
+
+class PatternError(ReproError):
+    """A pattern is invalid for the requested operation.
+
+    Raised e.g. for disconnected patterns, patterns with self loops, or
+    patterns larger than a component supports.
+    """
+
+
+class CompileError(ReproError):
+    """The FlexMiner compiler could not produce an execution plan."""
+
+
+class IRSyntaxError(CompileError):
+    """The textual IR could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The hardware simulator reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """A hardware or benchmark configuration is invalid."""

@@ -1,0 +1,309 @@
+"""Compressed sparse row (CSR) graph representation.
+
+This is the data-graph substrate FlexMiner operates on (paper §VII-A):
+symmetric graphs without self loops or duplicate edges, stored in CSR with
+each neighbor list sorted by ascending vertex id.  Sorted adjacency is what
+makes the merge-based SIU/SDU set operations (paper Fig. 9) and the binary
+search connectivity check possible.
+
+The same class also represents *directed* graphs, which is how the k-clique
+orientation optimization (paper §V-C) stores the DAG version of a data
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+__all__ = ["CSRGraph"]
+
+_INDEX_DTYPE = np.int64
+_VERTEX_DTYPE = np.int32
+
+
+class CSRGraph:
+    """An immutable graph in compressed sparse row form.
+
+    Parameters
+    ----------
+    indptr:
+        Array of ``num_vertices + 1`` offsets into ``indices``.
+    indices:
+        Concatenated neighbor lists.  Each per-vertex slice must be sorted
+        in ascending order and free of duplicates.
+    directed:
+        ``False`` (default) means the adjacency is symmetric: for every
+        edge (u, v), v appears in u's list and u in v's list.  ``True`` is
+        used for oriented (DAG) graphs where each undirected edge is kept
+        exactly once.
+    name:
+        Optional human-readable dataset name (e.g. ``"Mi"``).
+
+    Notes
+    -----
+    The arrays are stored with ``writeable = False`` so neighbor-list views
+    handed out by :meth:`neighbors` cannot be mutated by accident.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_directed", "_name")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        directed: bool = False,
+        name: str = "",
+        validate: bool = True,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=_INDEX_DTYPE)
+        indices = np.ascontiguousarray(indices, dtype=_VERTEX_DTYPE)
+        if validate:
+            _validate_csr(indptr, indices, directed)
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        self._indptr = indptr
+        self._indices = indices
+        self._directed = bool(directed)
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        num_vertices: int | None = None,
+        directed: bool = False,
+        name: str = "",
+    ) -> "CSRGraph":
+        """Build a graph from an iterable of (u, v) pairs.
+
+        For undirected graphs each input edge is inserted in both
+        directions.  Self loops and duplicate edges are silently dropped,
+        matching the paper's preprocessed inputs (Table I caption).
+        """
+        pairs = np.asarray(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            n = int(num_vertices or 0)
+            return cls(
+                np.zeros(n + 1, dtype=_INDEX_DTYPE),
+                np.empty(0, dtype=_VERTEX_DTYPE),
+                directed=directed,
+                name=name,
+            )
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise GraphFormatError("edges must be (u, v) pairs")
+        if pairs.min() < 0:
+            raise GraphFormatError("vertex ids must be non-negative")
+
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]  # drop self loops
+        if not directed:
+            pairs = np.concatenate([pairs, pairs[:, ::-1]])
+
+        n = int(num_vertices) if num_vertices is not None else int(pairs.max()) + 1
+        if pairs.size and pairs.max() >= n:
+            raise GraphFormatError(
+                f"edge endpoint {int(pairs.max())} out of range for "
+                f"{n} vertices"
+            )
+
+        # Sort by (src, dst) then deduplicate.
+        order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+        pairs = pairs[order]
+        if len(pairs):
+            keep = np.ones(len(pairs), dtype=bool)
+            keep[1:] = np.any(pairs[1:] != pairs[:-1], axis=1)
+            pairs = pairs[keep]
+
+        counts = np.bincount(pairs[:, 0], minlength=n)
+        indptr = np.zeros(n + 1, dtype=_INDEX_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        indices = pairs[:, 1].astype(_VERTEX_DTYPE)
+        return cls(indptr, indices, directed=directed, name=name, validate=False)
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Sequence[Sequence[int]],
+        *,
+        directed: bool = False,
+        name: str = "",
+    ) -> "CSRGraph":
+        """Build a graph from a list of neighbor lists (need not be sorted)."""
+        edges = [
+            (u, v) for u, neighbors in enumerate(adjacency) for v in neighbors
+        ]
+        return cls.from_edges(
+            edges, num_vertices=len(adjacency), directed=directed, name=name
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._indptr) - 1
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored adjacency entries."""
+        return len(self._indices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (entries / 2 for symmetric graphs)."""
+        if self._directed:
+            return len(self._indices)
+        return len(self._indices) // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    def degree(self, v: int) -> int:
+        """Out-degree of ``v`` (degree for symmetric graphs)."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all vertex degrees."""
+        return np.diff(self._indptr)
+
+    def max_degree(self) -> int:
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def avg_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return len(self._indices) / self.num_vertices
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor list of ``v`` as a read-only array view."""
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Connectivity test via binary search on u's sorted neighbor list."""
+        lst = self.neighbors(u)
+        pos = int(np.searchsorted(lst, v))
+        return pos < len(lst) and int(lst[pos]) == v
+
+    def vertices(self) -> range:
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate undirected edges once as (u, v) with u < v.
+
+        For directed graphs, iterate every stored arc.
+        """
+        for u in self.vertices():
+            for v in self.neighbors(u):
+                v = int(v)
+                if self._directed or u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :mod:`networkx` graph (DiGraph when directed)."""
+        import networkx as nx
+
+        g = nx.DiGraph() if self._directed else nx.Graph()
+        g.add_nodes_from(self.vertices())
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, *, name: str = "") -> "CSRGraph":
+        """Build from a networkx (Di)Graph with integer-labelable nodes."""
+        import networkx as nx
+
+        mapping = {node: i for i, node in enumerate(sorted(g.nodes()))}
+        directed = isinstance(g, nx.DiGraph)
+        edges = [(mapping[u], mapping[v]) for u, v in g.edges()]
+        return cls.from_edges(
+            edges,
+            num_vertices=g.number_of_nodes(),
+            directed=directed,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory layout metadata (used by the timing simulator)
+    # ------------------------------------------------------------------
+    def edgelist_bytes(self, v: int) -> int:
+        """Size of v's neighbor list in bytes (4-byte vertex ids)."""
+        return 4 * self.degree(v)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self._directed == other._directed
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"CSRGraph({kind}{label}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )
+
+
+def _validate_csr(indptr: np.ndarray, indices: np.ndarray, directed: bool) -> None:
+    if indptr.ndim != 1 or len(indptr) == 0:
+        raise GraphFormatError("indptr must be a 1-D array of length n+1")
+    if int(indptr[0]) != 0 or int(indptr[-1]) != len(indices):
+        raise GraphFormatError("indptr must start at 0 and end at len(indices)")
+    if np.any(np.diff(indptr) < 0):
+        raise GraphFormatError("indptr must be non-decreasing")
+    n = len(indptr) - 1
+    if len(indices) and (indices.min() < 0 or indices.max() >= n):
+        raise GraphFormatError("neighbor ids out of range")
+    for v in range(n):
+        row = indices[indptr[v] : indptr[v + 1]]
+        if len(row) > 1 and np.any(np.diff(row) <= 0):
+            raise GraphFormatError(
+                f"neighbor list of vertex {v} is not strictly sorted"
+            )
+        if len(row) and np.any(row == v):
+            raise GraphFormatError(f"self loop at vertex {v}")
+    if not directed:
+        # Symmetry check: edge (u, v) implies (v, u).
+        src = np.repeat(np.arange(n), np.diff(indptr))
+        fwd = set(zip(src.tolist(), indices.tolist()))
+        for u, v in fwd:
+            if (v, u) not in fwd:
+                raise GraphFormatError(
+                    f"graph marked undirected but edge ({u}, {v}) has no "
+                    f"reverse"
+                )

@@ -1,0 +1,85 @@
+"""The evaluation dataset suite (stand-ins for the paper's Table I graphs).
+
+The paper evaluates on the Gramer input graphs: As, Mi (mico), Pa
+(patents), Yo (youtube), Lj (LiveJournal) and Or (orkut).  Those SNAP
+datasets are unavailable offline, so this module builds deterministic
+synthetic stand-ins that preserve the properties the evaluation depends on
+(DESIGN.md §2):
+
+* **relative size ordering**: As smallest, then Mi, Pa, Yo, Lj, Or;
+* **density ordering**: Mi is the densest (the paper quotes avg degree 21
+  and credits Mi's density for its consistently high c-map reuse), Or is
+  dense and large, Pa/Yo are large and sparse;
+* **heavy-tailed degrees**: all stand-ins are RMAT/power-law style so
+  high-degree vertices are rare (the property behind "a 4 kB c-map already
+  captures most of the benefit", §VII-C).
+
+Scale is reduced ~3 orders of magnitude because pure-Python cycle
+simulation is ~6 orders slower than the authors' C++ simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .csr import CSRGraph
+from .generators import power_law_cluster, rmat
+from .stats import GraphStats, graph_stats
+
+__all__ = [
+    "DATASET_NAMES",
+    "SMALL_SUITE",
+    "load_dataset",
+    "load_suite",
+    "suite_stats",
+]
+
+#: All stand-in dataset names, ordered as in the paper's Table I usage.
+DATASET_NAMES = ("As", "Mi", "Pa", "Yo", "Lj", "Or")
+
+#: The subset most figures sweep (Lj/Or appear only in selected rows).
+SMALL_SUITE = ("As", "Mi", "Pa", "Yo")
+
+_CACHE: Dict[str, CSRGraph] = {}
+
+
+def load_dataset(name: str) -> CSRGraph:
+    """Build (or fetch from the in-process cache) one stand-in dataset."""
+    if name in _CACHE:
+        return _CACHE[name]
+    builders = {
+        # As: the smallest dataset; moderate density.  Its small task count
+        # is what makes it scale worst in Fig. 15.
+        "As": lambda: rmat(9, avg_degree=8.0, seed=11, name="As"),
+        # Mi (mico): densest graph, avg degree ~21, high clustering -> the
+        # abundant c-map reuse the paper highlights in §VII-C.
+        "Mi": lambda: power_law_cluster(768, 11, 0.6, seed=23, name="Mi"),
+        # Pa (patents): large and sparse with poor locality (65.9% L2 miss
+        # rate in the paper) -> memory bound TC.
+        "Pa": lambda: rmat(11, avg_degree=5.0, seed=37, name="Pa"),
+        # Yo (youtube): large, sparse, very skewed maximum degree.
+        "Yo": lambda: rmat(11, avg_degree=8.0, a=0.63, b=0.17, c=0.17,
+                           seed=41, name="Yo"),
+        # Lj (LiveJournal): largest of the figure suite, more triangles
+        # than Yo (the paper uses this to explain TC behaviour).
+        "Lj": lambda: power_law_cluster(4096, 7, 0.35, seed=53, name="Lj"),
+        # Or (orkut): big and dense; only used for TC in §VII-D.
+        "Or": lambda: power_law_cluster(6144, 15, 0.25, seed=67, name="Or"),
+    }
+    if name not in builders:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        )
+    graph = builders[name]()
+    _CACHE[name] = graph
+    return graph
+
+
+def load_suite(names=DATASET_NAMES) -> List[CSRGraph]:
+    """Load several datasets in order."""
+    return [load_dataset(name) for name in names]
+
+
+def suite_stats(names=DATASET_NAMES) -> List[GraphStats]:
+    """Table I rows for the requested datasets."""
+    return [graph_stats(g) for g in load_suite(names)]

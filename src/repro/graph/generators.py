@@ -1,0 +1,219 @@
+"""Synthetic graph generators.
+
+The paper evaluates on SNAP graphs (Table I).  Those datasets are not
+available offline, so this module provides deterministic generators whose
+outputs match the *shape* that drives every effect the paper measures:
+power-law degree distributions (RMAT-style recursive-matrix sampling),
+tunable density, and community structure.  See DESIGN.md §2 for the
+substitution rationale.
+
+All generators are deterministic given ``seed`` and return symmetric
+:class:`~repro.graph.csr.CSRGraph` instances without self loops or
+duplicate edges, matching the paper's preprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+__all__ = [
+    "erdos_renyi",
+    "rmat",
+    "power_law_cluster",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "path_graph",
+    "grid_graph",
+    "barbell_graph",
+]
+
+
+def erdos_renyi(
+    num_vertices: int, edge_prob: float, *, seed: int = 0, name: str = ""
+) -> CSRGraph:
+    """G(n, p) random graph."""
+    if not 0.0 <= edge_prob <= 1.0:
+        raise GraphFormatError("edge_prob must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(num_vertices, k=1)
+    mask = rng.random(len(iu[0])) < edge_prob
+    edges = np.stack([iu[0][mask], iu[1][mask]], axis=1)
+    return CSRGraph.from_edges(
+        edges, num_vertices=num_vertices, name=name or f"er{num_vertices}"
+    )
+
+
+def rmat(
+    scale: int,
+    avg_degree: float = 8.0,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """RMAT (recursive matrix) power-law graph.
+
+    Parameters mirror the Graph500 convention: ``2**scale`` vertices and
+    roughly ``avg_degree`` undirected edges per vertex; (a, b, c, d) are
+    the recursive quadrant probabilities with ``d = 1 - a - b - c``.
+    RMAT's skewed quadrants produce the heavy-tailed degree distribution
+    characteristic of the SNAP graphs in Table I.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphFormatError("RMAT probabilities must be non-negative")
+    n = 1 << scale
+    num_edges = int(n * avg_degree / 2)
+    rng = np.random.default_rng(seed)
+
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(num_edges)
+        right = r >= a + c  # quadrant B or D -> dst high bit set
+        down = ((r >= a) & (r < a + c)) | (r >= a + b + c)  # C or D -> src
+        src = (src << 1) | down.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+
+    edges = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edges(
+        edges, num_vertices=n, name=name or f"rmat{scale}"
+    )
+
+
+def power_law_cluster(
+    num_vertices: int,
+    attach_edges: int,
+    triangle_prob: float,
+    *,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """Holme–Kim powerlaw cluster graph (preferential attachment + triads).
+
+    Produces power-law degrees *and* high clustering, which is the property
+    that makes c-map reuse abundant on dense graphs like the paper's Mi
+    (mico).  Implemented directly (no networkx dependency) so benches stay
+    fast and deterministic.
+    """
+    if attach_edges < 1 or attach_edges >= num_vertices:
+        raise GraphFormatError("attach_edges must be in [1, num_vertices)")
+    rng = np.random.default_rng(seed)
+    adjacency: list[set[int]] = [set() for _ in range(num_vertices)]
+    # Repeated-nodes list implements preferential attachment in O(1).
+    repeated: list[int] = []
+
+    seed_size = attach_edges + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            repeated.extend((u, v))
+
+    for u in range(seed_size, num_vertices):
+        targets: set[int] = set()
+        while len(targets) < attach_edges:
+            candidate = int(repeated[rng.integers(len(repeated))])
+            if candidate == u or candidate in targets:
+                continue
+            targets.add(candidate)
+            # Triad step: also connect to a random neighbor of the target.
+            if (
+                rng.random() < triangle_prob
+                and len(targets) < attach_edges
+                and adjacency[candidate]
+            ):
+                friends = [
+                    w
+                    for w in adjacency[candidate]
+                    if w != u and w not in targets
+                ]
+                if friends:
+                    targets.add(int(friends[rng.integers(len(friends))]))
+        for v in targets:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            repeated.extend((u, v))
+
+    edges = [(u, v) for u in range(num_vertices) for v in adjacency[u] if u < v]
+    return CSRGraph.from_edges(
+        edges, num_vertices=num_vertices, name=name or f"plc{num_vertices}"
+    )
+
+
+def complete_graph(num_vertices: int, *, name: str = "") -> CSRGraph:
+    """K_n: every pair of distinct vertices connected."""
+    edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+    ]
+    return CSRGraph.from_edges(
+        edges, num_vertices=num_vertices, name=name or f"K{num_vertices}"
+    )
+
+
+def star_graph(num_leaves: int, *, name: str = "") -> CSRGraph:
+    """Vertex 0 connected to ``num_leaves`` leaves."""
+    edges = [(0, i) for i in range(1, num_leaves + 1)]
+    return CSRGraph.from_edges(
+        edges, num_vertices=num_leaves + 1, name=name or f"star{num_leaves}"
+    )
+
+
+def cycle_graph(num_vertices: int, *, name: str = "") -> CSRGraph:
+    """Simple cycle of ``num_vertices`` >= 3 vertices."""
+    if num_vertices < 3:
+        raise GraphFormatError("cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % num_vertices) for i in range(num_vertices)]
+    return CSRGraph.from_edges(
+        edges, num_vertices=num_vertices, name=name or f"C{num_vertices}"
+    )
+
+
+def path_graph(num_vertices: int, *, name: str = "") -> CSRGraph:
+    """Simple path of ``num_vertices`` vertices."""
+    edges = [(i, i + 1) for i in range(num_vertices - 1)]
+    return CSRGraph.from_edges(
+        edges, num_vertices=num_vertices, name=name or f"P{num_vertices}"
+    )
+
+
+def grid_graph(rows: int, cols: int, *, name: str = "") -> CSRGraph:
+    """rows x cols 2-D lattice (used as a triangle-free stress input)."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return CSRGraph.from_edges(
+        edges, num_vertices=rows * cols, name=name or f"grid{rows}x{cols}"
+    )
+
+
+def barbell_graph(clique_size: int, path_len: int, *, name: str = "") -> CSRGraph:
+    """Two K_n cliques joined by a path (skewed task-size stress input)."""
+    edges = []
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((u, v))
+            edges.append((clique_size + path_len + u, clique_size + path_len + v))
+    chain = [clique_size - 1] + [clique_size + i for i in range(path_len)] + [
+        clique_size + path_len
+    ]
+    edges.extend(zip(chain, chain[1:]))
+    n = 2 * clique_size + path_len
+    return CSRGraph.from_edges(
+        edges, num_vertices=n, name=name or f"barbell{clique_size}"
+    )

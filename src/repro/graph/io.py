@@ -1,0 +1,99 @@
+"""Graph file input/output.
+
+Supports the two formats GPM papers commonly ship graphs in:
+
+* **edge list**: one ``u v`` pair per line, ``#`` comments allowed (SNAP
+  convention).
+* **Matrix Market** coordinate pattern files (``.mtx``), the format used by
+  the SuiteSparse collection that hosts mico/patents-style graphs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+__all__ = ["load_edge_list", "save_edge_list", "load_mtx", "load_graph"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def load_edge_list(path: PathLike, *, name: str = "") -> CSRGraph:
+    """Load a whitespace-separated edge list with optional ``#`` comments."""
+    edges = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v', got {line!r}"
+                )
+            try:
+                edges.append((int(parts[0]), int(parts[1])))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer vertex id"
+                ) from exc
+    return CSRGraph.from_edges(
+        edges, name=name or os.path.basename(str(path))
+    )
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write the graph as a sorted edge list (one direction per edge)."""
+    with open(path, "w") as f:
+        f.write(f"# {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        for u, v in graph.edges():
+            f.write(f"{u} {v}\n")
+
+
+def load_mtx(path: PathLike, *, name: str = "") -> CSRGraph:
+    """Load a Matrix Market coordinate file as an undirected graph.
+
+    Vertex ids in ``.mtx`` are 1-based; they are shifted to 0-based.
+    Only the (row, col) structure is used; any values are ignored.
+    """
+    edges = []
+    header_seen = False
+    size_seen = False
+    num_vertices = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("%"):
+                header_seen = True
+                continue
+            parts = line.split()
+            if not size_seen:
+                if len(parts) < 3:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: malformed size line"
+                    )
+                rows, cols = int(parts[0]), int(parts[1])
+                num_vertices = max(rows, cols)
+                size_seen = True
+                continue
+            u, v = int(parts[0]) - 1, int(parts[1]) - 1
+            edges.append((u, v))
+    if not header_seen and not size_seen:
+        raise GraphFormatError(f"{path}: not a Matrix Market file")
+    return CSRGraph.from_edges(
+        edges,
+        num_vertices=num_vertices,
+        name=name or os.path.basename(str(path)),
+    )
+
+
+def load_graph(path: PathLike, *, name: str = "") -> CSRGraph:
+    """Dispatch on file extension (.mtx -> Matrix Market, else edge list)."""
+    if str(path).endswith(".mtx"):
+        return load_mtx(path, name=name)
+    return load_edge_list(path, name=name)

@@ -1,0 +1,55 @@
+"""DAG orientation of undirected graphs (paper §V-C).
+
+The FlexMiner compiler applies the *orientation* technique when it detects a
+k-clique pattern: every undirected edge (u, v) is kept only in the direction
+from the "smaller" endpoint to the "larger" one, where endpoints are
+compared by degree first and vertex id on ties.  After orientation no
+symmetry-order checks are needed at runtime, because each clique is
+discovered exactly once (its vertices must appear in increasing orientation
+rank).
+
+The paper notes the preprocessing cost is usually below 1% of mining time
+and that the oriented graph is reusable for any k-CL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["orient_by_degree", "orientation_rank"]
+
+
+def orientation_rank(graph: CSRGraph) -> np.ndarray:
+    """Total-order rank used for orientation: (degree, vertex id).
+
+    Returns an array ``rank`` such that ``rank[u] < rank[v]`` iff u precedes
+    v in the orientation order.  Lower degree comes first; ties break by
+    vertex id, matching the commonly used approach the paper describes.
+    """
+    degrees = graph.degrees()
+    # lexsort's last key is primary.
+    order = np.lexsort((np.arange(graph.num_vertices), degrees))
+    rank = np.empty(graph.num_vertices, dtype=np.int64)
+    rank[order] = np.arange(graph.num_vertices)
+    return rank
+
+
+def orient_by_degree(graph: CSRGraph) -> CSRGraph:
+    """Return the degree-ordered DAG version of an undirected graph.
+
+    Each undirected edge (u, v) becomes a single arc from the lower-ranked
+    endpoint to the higher-ranked one.  The result has
+    ``num_directed_edges == graph.num_edges``.
+    """
+    rank = orientation_rank(graph)
+    edges = [
+        (u, v) for u, v in graph.edges() if rank[u] < rank[v]
+    ] + [(v, u) for u, v in graph.edges() if rank[v] < rank[u]]
+    return CSRGraph.from_edges(
+        edges,
+        num_vertices=graph.num_vertices,
+        directed=True,
+        name=graph.name + "-dag" if graph.name else "dag",
+    )

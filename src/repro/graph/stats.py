@@ -1,0 +1,64 @@
+"""Graph statistics used by Table I and the compiler heuristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphStats", "graph_stats", "degree_histogram", "power_law_exponent"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary row for a dataset (the columns of the paper's Table I)."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    avg_degree: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            round(self.avg_degree, 1),
+        )
+
+
+def graph_stats(graph: CSRGraph) -> GraphStats:
+    """Compute the Table I columns for one graph."""
+    return GraphStats(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree(),
+        avg_degree=graph.avg_degree(),
+    )
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Histogram h where h[d] = number of vertices with degree d."""
+    if graph.num_vertices == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(graph.degrees())
+
+
+def power_law_exponent(graph: CSRGraph) -> float:
+    """Maximum-likelihood power-law exponent estimate (Clauset et al.).
+
+    Used in tests to check that RMAT stand-ins are actually heavy tailed.
+    Degrees below ``d_min = 2`` are excluded.  Returns ``nan`` for graphs
+    with too few qualifying vertices.
+    """
+    degrees = graph.degrees()
+    d_min = 2
+    tail = degrees[degrees >= d_min].astype(np.float64)
+    if len(tail) < 10:
+        return float("nan")
+    return 1.0 + len(tail) / float(np.sum(np.log(tail / (d_min - 0.5))))

@@ -1,0 +1,149 @@
+"""Top-level FlexMiner accelerator simulation (paper Fig. 8).
+
+``FlexMinerAccelerator`` wires the pieces together: it loads the
+execution plan (the software/hardware interface of §V), instantiates the
+PEs with their private caches and c-maps, the shared L2, the NoC and the
+DRAM model, and drives the dynamic scheduler.  ``simulate`` is the
+one-call convenience wrapper used by the apps and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..compiler.plan import ExecutionPlan, MultiPlan
+from ..errors import SimulationError
+from ..graph import CSRGraph, orient_by_degree
+from .config import FlexMinerConfig
+from .mem import MemorySystem
+from .pe import ProcessingElement
+from .report import SimReport
+from .scheduler import Scheduler
+
+__all__ = ["FlexMinerAccelerator", "simulate"]
+
+
+class FlexMinerAccelerator:
+    """A configured FlexMiner instance bound to one graph and plan."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        plan,
+        config: Optional[FlexMinerConfig] = None,
+    ) -> None:
+        if not isinstance(plan, (ExecutionPlan, MultiPlan)):
+            raise SimulationError("plan must be an ExecutionPlan or MultiPlan")
+        self.graph = graph
+        self.plan = plan
+        self.config = config or FlexMinerConfig()
+        oriented = isinstance(plan, ExecutionPlan) and plan.oriented
+        self._work_graph = orient_by_degree(graph) if oriented else graph
+        self.memsys = MemorySystem(self.config, graph)
+        self.pes = [
+            ProcessingElement(
+                i,
+                graph,
+                plan,
+                self.config,
+                self.memsys,
+                work_graph=self._work_graph,
+            )
+            for i in range(self.config.num_pes)
+        ]
+        self.scheduler = Scheduler(self.pes)
+
+    def run(self, roots: Optional[Iterable[int]] = None) -> SimReport:
+        """Simulate mining the whole graph (or the given roots)."""
+        split = self.config.task_split_degree
+        if split is not None and isinstance(self.plan, MultiPlan):
+            raise SimulationError(
+                "task splitting requires a single-pattern plan"
+            )
+        root_label = getattr(self.plan, "root_label", None)
+        if root_label is not None:
+            labels = self.graph.labels  # engine init validated presence
+            candidates = roots if roots is not None else (
+                self._work_graph.vertices()
+            )
+            roots = [v for v in candidates if int(labels[int(v)]) == root_label]
+        tasks = Scheduler.order_tasks(
+            self._work_graph, roots, split_degree=split
+        )
+        makespan = self.scheduler.run(tasks)
+        return self._report(makespan)
+
+    # ------------------------------------------------------------------
+    def _report(self, makespan: float) -> SimReport:
+        num_patterns = (
+            self.plan.num_patterns
+            if isinstance(self.plan, MultiPlan)
+            else 1
+        )
+        counts = [0] * num_patterns
+        busy = stall = pruner = setop = cmap_cycles = 0.0
+        private_hits = private_misses = 0
+        cmap_reads = cmap_writes = cmap_over = fallbacks = 0
+        frontier_reads = 0
+        tasks = 0
+        per_pe = []
+        for pe in self.pes:
+            for i, c in enumerate(pe.counts):
+                counts[i] += c
+            busy += pe.stats.busy_cycles
+            stall += pe.stats.stall_cycles
+            pruner += pe.stats.pruner_cycles
+            setop += pe.stats.setop_cycles
+            cmap_cycles += pe.stats.cmap_cycles
+            private_hits += pe.private.stats.hits
+            private_misses += pe.private.stats.misses
+            frontier_reads += pe.stats.frontier_reads
+            fallbacks += pe.stats.cmap_fallbacks
+            tasks += pe.stats.tasks
+            per_pe.append(pe.time)
+            if pe.cmap is not None:
+                cmap_reads += pe.cmap.stats.reads
+                cmap_writes += pe.cmap.stats.writes
+                cmap_over += pe.cmap.stats.overflows
+
+        seconds = makespan / (self.config.pe_freq_ghz * 1e9)
+        return SimReport(
+            counts=tuple(counts),
+            cycles=makespan,
+            seconds=seconds,
+            num_pes=self.config.num_pes,
+            busy_cycles=busy,
+            stall_cycles=stall,
+            pruner_cycles=pruner,
+            setop_cycles=setop,
+            cmap_cycles=cmap_cycles,
+            noc_requests=self.memsys.noc.stats.requests,
+            dram_accesses=self.memsys.dram.stats.accesses,
+            l2_hits=self.memsys.l2.stats.hits,
+            l2_misses=self.memsys.l2.stats.misses,
+            private_hits=private_hits,
+            private_misses=private_misses,
+            cmap_reads=cmap_reads,
+            cmap_writes=cmap_writes,
+            cmap_overflows=cmap_over,
+            cmap_fallbacks=fallbacks,
+            frontier_reads=frontier_reads,
+            tasks=tasks,
+            per_pe_cycles=per_pe,
+            extras={
+                "noc_queue_cycles": self.memsys.noc.stats.queue_cycles,
+                "dram_queue_cycles": self.memsys.dram.stats.queue_cycles,
+                "dram_row_hit_rate": self.memsys.dram.stats.row_hit_rate,
+            },
+        )
+
+
+def simulate(
+    graph: CSRGraph,
+    plan,
+    config: Optional[FlexMinerConfig] = None,
+    *,
+    roots: Optional[Iterable[int]] = None,
+) -> SimReport:
+    """Build an accelerator and run one simulation."""
+    return FlexMinerAccelerator(graph, plan, config).run(roots)

@@ -1,0 +1,108 @@
+"""Set-associative LRU cache model.
+
+Used for both the per-PE private cache and the shared L2 (the paper's L2
+is a "standard cycle-accurate non-inclusive cache model"; non-inclusive
+means we simply model each level independently).  Only line presence and
+LRU state are tracked — the simulator routes data values separately — so
+one model serves reads, writes and frontier-list spills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["CacheStats", "SetAssocCache"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssocCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Addresses are byte addresses; the cache operates on line granularity.
+    """
+
+    def __init__(
+        self, capacity_bytes: int, assoc: int, line_bytes: int
+    ) -> None:
+        num_lines = capacity_bytes // line_bytes
+        if num_lines < assoc:
+            raise ConfigError("cache smaller than one set")
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = max(num_lines // assoc, 1)
+        self.stats = CacheStats()
+        # Per-set mapping line_tag -> last-use tick (true LRU).
+        self._sets: List[Dict[int, int]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def lines_of_range(self, base: int, size: int) -> np.ndarray:
+        """Distinct line ids covering [base, base + size)."""
+        if size <= 0:
+            return np.empty(0, dtype=np.int64)
+        first = base // self.line_bytes
+        last = (base + size - 1) // self.line_bytes
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def access_line(self, line: int) -> bool:
+        """Touch one line; returns True on hit (allocates on miss)."""
+        self._tick += 1
+        index = line % self.num_sets
+        ways = self._sets[index]
+        if line in ways:
+            ways[line] = self._tick
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.assoc:
+            victim = min(ways, key=ways.get)
+            del ways[victim]
+            self.stats.evictions += 1
+        ways[line] = self._tick
+        return False
+
+    def access_range(self, base: int, size: int) -> Tuple[int, List[int]]:
+        """Touch every line of a byte range.
+
+        Returns ``(hits, missed_lines)`` so the caller can forward the
+        misses to the next memory level.
+        """
+        hits = 0
+        missed: List[int] = []
+        for line in self.lines_of_range(base, size):
+            if self.access_line(int(line)):
+                hits += 1
+            else:
+                missed.append(int(line))
+        return hits, missed
+
+    def contains(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()

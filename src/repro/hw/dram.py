@@ -1,0 +1,107 @@
+"""DDR4 DRAM timing model (DRAMsim3 stand-in, paper §VII-A).
+
+Models the first-order DDR4 behaviour that matters for GPM traffic:
+channel-level data-bus serialization (bandwidth), per-bank row buffers
+(row hits cost tCAS only, conflicts pay precharge + activate), and bank
+interleaving on line addresses.  The paper's configuration — 64 GB
+DDR4-2666 over four channels, same as the CPU baseline — is the default
+(:class:`~repro.hw.config.DramConfig`).
+
+Requests carry the issuing PE's local timestamp; each channel keeps a
+busy-until horizon so bandwidth saturation shows up as queueing latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import DramConfig, FlexMinerConfig
+
+__all__ = ["DramStats", "DramModel"]
+
+
+@dataclass
+class DramStats:
+    accesses: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    queue_cycles: float = 0.0
+    busy_cycles: float = 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class DramModel:
+    """Per-channel, per-bank DDR4 timing at PE clock granularity."""
+
+    def __init__(self, config: FlexMinerConfig) -> None:
+        dram: DramConfig = config.dram
+        self.config = dram
+        self.line_bytes = config.line_bytes
+        to_cycles = config.ns_to_cycles
+        self.t_cas = to_cycles(dram.t_cas_ns)
+        self.t_rcd = to_cycles(dram.t_rcd_ns)
+        self.t_rp = to_cycles(dram.t_rp_ns)
+        self.t_burst = to_cycles(dram.t_burst_ns)
+        self.stats = DramStats()
+        n_banks = dram.num_channels * dram.banks_per_channel
+        self._open_row = np.full(n_banks, -1, dtype=np.int64)
+        # Leaky-bucket backlog per channel: requests arrive stamped with
+        # their PE's *local* time, which is not globally ordered, so an
+        # absolute busy-until horizon would inflate queueing wildly.
+        # Instead each channel drains its backlog at one cycle per cycle
+        # of (non-decreasing) observed time.
+        self._backlog = np.zeros(dram.num_channels, dtype=np.float64)
+        self._last_seen = np.zeros(dram.num_channels, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _map(self, line: int) -> tuple:
+        """Line address -> (channel, global bank index, row)."""
+        channel = line % self.config.num_channels
+        bank_local = (line // self.config.num_channels) % (
+            self.config.banks_per_channel
+        )
+        bank = channel * self.config.banks_per_channel + bank_local
+        row = (line * self.line_bytes) // self.config.row_bytes
+        return channel, bank, row
+
+    def access(self, line: int, now: float) -> float:
+        """Service one line fill issued at PE-cycle ``now``.
+
+        Returns the latency in PE cycles until the data is back.
+        """
+        channel, bank, row = self._map(line)
+        self.stats.accesses += 1
+
+        if self._open_row[bank] == row:
+            array_latency = self.t_cas
+            self.stats.row_hits += 1
+        else:
+            array_latency = self.t_rp + self.t_rcd + self.t_cas
+            self.stats.row_conflicts += 1
+            self._open_row[bank] = row
+
+        # Drain the channel backlog for the time elapsed since the last
+        # request this channel observed (clamped: local times may run
+        # backwards across PEs).
+        elapsed = now - float(self._last_seen[channel])
+        if elapsed > 0:
+            self._backlog[channel] = max(
+                0.0, float(self._backlog[channel]) - elapsed
+            )
+            self._last_seen[channel] = now
+        queue_delay = float(self._backlog[channel])
+        self._backlog[channel] = queue_delay + self.t_burst
+
+        self.stats.queue_cycles += queue_delay
+        self.stats.busy_cycles += self.t_burst
+        return queue_delay + array_latency + self.t_burst
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        return self.config.peak_bandwidth_gbs

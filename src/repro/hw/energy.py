@@ -1,0 +1,119 @@
+"""Energy model for FlexMiner and the CPU baseline.
+
+The paper positions accelerators as improving "performance *and
+energy-efficiency*" (§I) and gives the area/frequency data of §VII-A;
+this module completes the picture with a CACTI-class event-energy model:
+every counted simulator event (SIU iteration, c-map probe, cache access,
+NoC flit, DRAM burst) is assigned a per-event energy, plus leakage
+proportional to area and runtime.
+
+The constants are representative 14/15 nm-class numbers (order-of-
+magnitude correct); as with the CPU timing model, the meaningful outputs
+are *ratios* — accelerator vs CPU energy on identical mining work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..engine.counters import OpCounters
+from .area import AreaModel
+from .config import FlexMinerConfig
+from .report import SimReport
+
+__all__ = ["EnergyConfig", "EnergyBreakdown", "estimate_energy",
+           "cpu_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-event energies (picojoules) and static power densities."""
+
+    #: Core events.
+    pj_per_pe_cycle: float = 1.2  # active PE datapath + control
+    pj_per_cmap_access: float = 0.6  # small scratchpad SRAM access
+    pj_per_private_access: float = 1.0  # 32 kB SRAM line access
+    pj_per_l2_access: float = 12.0  # 4 MB SRAM line access
+    pj_per_noc_byte: float = 0.35
+    pj_per_dram_burst: float = 1300.0  # 64 B DDR4 access (~20 pJ/b)
+    #: Leakage per mm^2 of logic+SRAM (watts).
+    leakage_w_per_mm2: float = 0.08
+    #: CPU-side constants.
+    cpu_pj_per_cycle_per_core: float = 450.0  # high-end core incl. caches
+    cpu_idle_w: float = 18.0  # uncore/DRAM background
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules by component plus derived metrics."""
+
+    dynamic_j: Dict[str, float] = field(default_factory=dict)
+    leakage_j: float = 0.0
+    seconds: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.dynamic_j.values()) + self.leakage_j
+
+    @property
+    def average_watts(self) -> float:
+        return self.total_j / self.seconds if self.seconds else 0.0
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{name}={joules * 1e6:.2f}uJ"
+            for name, joules in sorted(self.dynamic_j.items())
+        )
+        return (
+            f"total={self.total_j * 1e6:.2f}uJ "
+            f"(leakage={self.leakage_j * 1e6:.2f}uJ, {parts}) "
+            f"avg={self.average_watts:.2f}W"
+        )
+
+
+def estimate_energy(
+    report: SimReport,
+    config: FlexMinerConfig,
+    energy: EnergyConfig | None = None,
+) -> EnergyBreakdown:
+    """Energy of one simulated FlexMiner run."""
+    e = energy or EnergyConfig()
+    line = config.line_bytes
+    dynamic = {
+        "pe": report.busy_cycles * e.pj_per_pe_cycle,
+        "cmap": (report.cmap_reads + report.cmap_writes)
+        * e.pj_per_cmap_access,
+        "private": (report.private_hits + report.private_misses)
+        * e.pj_per_private_access,
+        "l2": (report.l2_hits + report.l2_misses) * e.pj_per_l2_access,
+        "noc": report.noc_requests * line * e.pj_per_noc_byte,
+        "dram": report.dram_accesses * e.pj_per_dram_burst,
+    }
+    area = AreaModel(config).total_pe_area_mm2
+    leakage = area * e.leakage_w_per_mm2 * report.seconds
+    return EnergyBreakdown(
+        dynamic_j={k: v * 1e-12 for k, v in dynamic.items()},
+        leakage_j=leakage,
+        seconds=report.seconds,
+    )
+
+
+def cpu_energy(
+    seconds: float,
+    *,
+    cores_active: int = 10,
+    freq_ghz: float = 4.0,
+    energy: EnergyConfig | None = None,
+) -> EnergyBreakdown:
+    """Energy of the CPU baseline running for ``seconds``."""
+    e = energy or EnergyConfig()
+    dynamic = (
+        seconds * cores_active * freq_ghz * 1e9 * e.cpu_pj_per_cycle_per_core
+    ) * 1e-12
+    idle = e.cpu_idle_w * seconds
+    return EnergyBreakdown(
+        dynamic_j={"cores": dynamic},
+        leakage_j=idle,
+        seconds=seconds,
+    )

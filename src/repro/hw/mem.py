@@ -1,0 +1,100 @@
+"""Shared memory system: address layout, L2, NoC and DRAM glue.
+
+The simulator is trace-driven: PEs issue line-granular requests stamped
+with their local cycle time.  Each private-cache miss becomes a NoC
+request (the Fig. 16 traffic metric) and an L2 lookup; L2 misses go to
+the DDR4 model.  Requests in a batch (one adjacency-list fetch) are
+issued back-to-back and complete out of order; the PE blocks until the
+last response.
+
+Address map (synthetic, byte-addressed):
+
+* ``indptr``   at 0x1000_0000 — 8 bytes per vertex offset entry;
+* ``indices``  at 0x4000_0000 — 4 bytes per neighbor id;
+* frontier spill space per PE above 0x1_0000_0000 — frontier lists live
+  in the private cache and spill to L2, so these addresses never reach
+  DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..graph import CSRGraph
+from .cache import SetAssocCache
+from .config import FlexMinerConfig
+from .dram import DramModel
+from .noc import NocModel
+
+__all__ = ["GraphLayout", "MemorySystem"]
+
+INDPTR_BASE = 0x1000_0000
+INDICES_BASE = 0x4000_0000
+FRONTIER_BASE = 0x1_0000_0000
+FRONTIER_STRIDE = 0x0100_0000  # 16 MB of spill address space per PE
+
+
+@dataclass(frozen=True)
+class GraphLayout:
+    """Byte addresses of the CSR arrays in the simulated address space."""
+
+    num_vertices: int
+
+    def indptr_range(self, v: int) -> Tuple[int, int]:
+        """Address/size of the two offsets bounding v's neighbor list."""
+        return INDPTR_BASE + 8 * v, 16
+
+    def indices_range(self, start: int, count: int) -> Tuple[int, int]:
+        """Address/size of a slice of the indices array."""
+        return INDICES_BASE + 4 * start, 4 * count
+
+    @staticmethod
+    def frontier_region(pe_id: int) -> Tuple[int, int]:
+        base = FRONTIER_BASE + pe_id * FRONTIER_STRIDE
+        return base, FRONTIER_STRIDE
+
+    @staticmethod
+    def is_frontier(addr: int) -> bool:
+        return addr >= FRONTIER_BASE
+
+
+class MemorySystem:
+    """Shared L2 + NoC + DRAM serving all PEs."""
+
+    #: Back-to-back request issue gap from one PE (cycles).
+    ISSUE_GAP = 1.0
+
+    def __init__(self, config: FlexMinerConfig, graph: CSRGraph) -> None:
+        self.config = config
+        self.layout = GraphLayout(graph.num_vertices)
+        self.l2 = SetAssocCache(
+            config.l2_bytes, config.l2_assoc, config.line_bytes
+        )
+        self.dram = DramModel(config)
+        self.noc = NocModel(config)
+
+    def fetch_lines(
+        self, pe_id: int, lines: List[int], now: float
+    ) -> float:
+        """Service a batch of private-cache misses; returns stall cycles.
+
+        Each line costs a NoC round trip plus the L2 hit latency; an L2
+        miss adds the DRAM access (frontier spill addresses always hit in
+        L2 by construction — they were written there, never to DRAM).
+        """
+        if not lines:
+            return 0.0
+        finish = now
+        for i, line in enumerate(lines):
+            issue = now + i * self.ISSUE_GAP
+            latency = self.noc.request_latency(
+                pe_id, self.config.line_bytes, issue
+            )
+            latency += self.config.l2_hit_cycles
+            addr = line * self.config.line_bytes
+            hit = self.l2.access_line(line)
+            if not hit and not GraphLayout.is_frontier(addr):
+                latency += self.dram.access(line, issue + latency)
+            finish = max(finish, issue + latency)
+        return finish - now

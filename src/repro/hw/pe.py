@@ -1,0 +1,272 @@
+"""Processing-element model (paper §IV, Fig. 8/10).
+
+A PE walks the subgraph search tree for its assigned tasks with the
+iterative extender FSM, charging cycles for each microarchitectural
+component:
+
+* **pruner** — one cycle per candidate for the vid-bound/injectivity
+  scan;
+* **c-map** — banked hash probes for queries, bulk inserts on descend,
+  stack deletions on backtrack, occupancy-threshold fall-back (§VI);
+* **SIU/SDU** — one merge-loop iteration per cycle when the c-map cannot
+  serve a connectivity check (paper Fig. 9);
+* **frontier-list table** — memoized candidate lists written to a per-PE
+  spill region and re-read through the private cache (§V-C);
+* **memory** — edgelist and frontier reads go through the private cache;
+  misses stall the PE for the NoC + L2 (+ DRAM) round trip.
+
+Functionally the PE *is* a :class:`~repro.engine.explore.PatternAwareEngine`
+subclass, so its match counts are the verified reference computation; the
+overrides only add timing and hardware state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.plan import VertexStep
+from ..engine.explore import PatternAwareEngine
+from ..engine.setops import bound_below, difference, intersect, merge_iterations
+from ..graph import CSRGraph
+from .cache import SetAssocCache
+from .cmap import HardwareCMap
+from .config import FlexMinerConfig
+from .mem import GraphLayout, MemorySystem
+
+__all__ = ["PEStats", "ProcessingElement"]
+
+
+@dataclass
+class PEStats:
+    """Per-PE cycle breakdown and event counts."""
+
+    tasks: int = 0
+    busy_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    pruner_cycles: float = 0.0
+    setop_cycles: float = 0.0
+    cmap_cycles: float = 0.0
+    frontier_reads: int = 0
+    cmap_fallbacks: int = 0
+    cmap_resolved_checks: int = 0
+    siu_resolved_checks: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.busy_cycles + self.stall_cycles
+
+
+class ProcessingElement(PatternAwareEngine):
+    """One FlexMiner PE: the functional engine plus cycle accounting."""
+
+    def __init__(
+        self,
+        pe_id: int,
+        graph: CSRGraph,
+        plan,
+        config: FlexMinerConfig,
+        memsys: MemorySystem,
+        *,
+        work_graph: Optional[CSRGraph] = None,
+    ) -> None:
+        super().__init__(graph, plan, collect=False, work_graph=work_graph)
+        self.pe_id = pe_id
+        self.config = config
+        self.memsys = memsys
+        self.time = 0.0
+        self._overlap_credit = 0.0
+        self.stats = PEStats()
+        self.private = SetAssocCache(
+            config.private_cache_bytes,
+            config.private_cache_assoc,
+            config.line_bytes,
+        )
+        self.cmap: Optional[HardwareCMap] = HardwareCMap.from_config(config)
+        self._insert_depths = set(plan.cmap_insert_depths)
+        self._insert_filter = getattr(plan, "cmap_insert_filter", {})
+        self._covered: Dict[int, bool] = {}
+        # Frontier-list table: depth -> (spill address, bytes).
+        self._frontier_table: Dict[int, Tuple[int, int]] = {}
+        base, stride = GraphLayout.frontier_region(pe_id)
+        self._frontier_base = base
+        self._frontier_limit = base + stride
+        self._frontier_ptr = base
+
+    # ------------------------------------------------------------------
+    # Scheduler entry point
+    # ------------------------------------------------------------------
+    def execute_task(
+        self,
+        v0: int,
+        dispatch_time: float,
+        *,
+        chunk: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Run one task; ``dispatch_time`` is when the scheduler sent it.
+
+        ``chunk`` restricts the walk to a slice of the depth-1
+        candidates (fine-grained task splitting; see the scheduler).
+        """
+        self.time = max(self.time, dispatch_time)
+        self._charge_busy(self.config.dispatch_cycles)
+        if self.cmap is not None:
+            self.cmap.reset()
+        self._covered.clear()
+        self.stats.tasks += 1
+        self.run_task(v0, chunk=chunk)
+
+    @property
+    def counts(self) -> List[int]:
+        return self._counts
+
+    # ------------------------------------------------------------------
+    # Cycle charging helpers
+    # ------------------------------------------------------------------
+    def _charge_busy(self, cycles: float) -> None:
+        self.time += cycles
+        self.stats.busy_cycles += cycles
+        # Compute executed since the last fetch gives the decoupled
+        # fetch pipeline that much run-ahead to hide the next miss.
+        self._overlap_credit += cycles
+
+    def _touch(self, base: int, size: int) -> None:
+        """Read a byte range through the private cache.
+
+        Misses go to the L2/DRAM; the PE's decoupled access pipeline
+        (the extender FSM issues edgelist requests ahead of the SIU and
+        pruner consuming them) hides miss latency behind the compute
+        cycles charged since the previous fetch.  Only the uncovered
+        remainder stalls the PE.
+        """
+        _, missed = self.private.access_range(base, size)
+        if missed:
+            latency = self.memsys.fetch_lines(
+                self.pe_id, missed, self.time
+            )
+            stall = max(0.0, latency - self._overlap_credit)
+            self._overlap_credit = 0.0
+            self.time += stall
+            self.stats.stall_cycles += stall
+
+    def _write_frontier(self, length: int, depth: int) -> None:
+        """Store a memoized candidate list in the spill region."""
+        size = max(4 * length, 4)
+        if self._frontier_ptr + size > self._frontier_limit:
+            self._frontier_ptr = self._frontier_base  # wrap (bump allocator)
+        addr = self._frontier_ptr
+        line = self.config.line_bytes
+        self._frontier_ptr = (addr + size + line - 1) // line * line
+        # Write-allocate without fetch: lines become resident; one store
+        # cycle per line.
+        lines = self.private.lines_of_range(addr, size)
+        for ln in lines:
+            self.private.access_line(int(ln))
+        self._charge_busy(len(lines))
+        self._frontier_table[depth] = (addr, size)
+
+    def _load_adjacency_timed(self, v: int) -> np.ndarray:
+        """Fetch a neighbor list through the memory hierarchy."""
+        nbrs = self._load_adjacency(v)  # functional read + op counters
+        layout = self.memsys.layout
+        self._touch(*layout.indptr_range(v))
+        start = int(self._work_graph.indptr[v])
+        self._touch(*layout.indices_range(start, len(nbrs)))
+        return nbrs
+
+    # ------------------------------------------------------------------
+    # Candidate generation with hardware timing
+    # ------------------------------------------------------------------
+    def _raw_candidates(
+        self, step: VertexStep, emb: Sequence[int]
+    ) -> np.ndarray:
+        if step.base_step is not None:
+            cands = self._raw_stack[step.base_step]
+            self.counters.frontier_hits += 1
+            self.stats.frontier_reads += 1
+            entry = self._frontier_table.get(step.base_step)
+            if entry is not None:
+                self._touch(*entry)
+            conn, disc = step.extra_connected, step.extra_disconnected
+        else:
+            cands = self._load_adjacency_timed(emb[step.extender])
+            conn, disc = step.connected, step.disconnected
+
+        checks = conn + disc
+        if checks:
+            if self._cmap_ready(checks):
+                cycles = self.cmap.query_batch(len(cands))
+                self._charge_busy(cycles)
+                self.stats.cmap_cycles += cycles
+                self.stats.cmap_resolved_checks += len(checks)
+                # Values come from the verified functional computation.
+                for d in conn:
+                    cands = intersect(
+                        cands, self._work_graph.neighbors(emb[d]), None
+                    )
+                for d in disc:
+                    cands = difference(
+                        cands, self._work_graph.neighbors(emb[d]), None
+                    )
+            else:
+                if self.cmap is not None:
+                    self.stats.cmap_fallbacks += 1
+                self.stats.siu_resolved_checks += len(checks)
+                for d in conn:
+                    other = self._load_adjacency_timed(emb[d])
+                    cycles = merge_iterations(len(cands), len(other))
+                    self._charge_busy(cycles)
+                    self.stats.setop_cycles += cycles
+                    cands = intersect(cands, other, self.counters)
+                for d in disc:
+                    other = self._load_adjacency_timed(emb[d])
+                    cycles = merge_iterations(len(cands), len(other))
+                    self._charge_busy(cycles)
+                    self.stats.setop_cycles += cycles
+                    cands = difference(cands, other, self.counters)
+
+        # Pruner scan: one candidate per cycle for bound + injectivity.
+        self._charge_busy(len(cands))
+        self.stats.pruner_cycles += len(cands)
+
+        self._raw_stack[step.depth] = cands
+        if step.memoize_frontier:
+            self._write_frontier(len(cands), step.depth)
+        return cands
+
+    def _cmap_ready(self, checks: Tuple[int, ...]) -> bool:
+        """Can every check be answered from the c-map right now?"""
+        if self.cmap is None:
+            return False
+        return all(self._covered.get(d, False) for d in checks)
+
+    # ------------------------------------------------------------------
+    # c-map maintenance on DFS moves (Fig. 12)
+    # ------------------------------------------------------------------
+    def _on_descend(self, depth: int, emb: List[int]) -> None:
+        if self.cmap is None or depth not in self._insert_depths:
+            return
+        neighbors = self._work_graph.neighbors(emb[depth])
+        flt = self._insert_filter.get(depth)
+        if flt is not None:
+            neighbors = bound_below(neighbors, emb[flt])
+        # The degree is known from indptr before the list is brought in,
+        # so the footprint estimate precedes the data fetch (§VI-B).
+        outcome = self.cmap.try_insert(neighbors, depth)
+        self._charge_busy(outcome.cycles)
+        self.stats.cmap_cycles += outcome.cycles
+        if outcome.accepted:
+            layout = self.memsys.layout
+            start = int(self._work_graph.indptr[emb[depth]])
+            self._touch(*layout.indices_range(start, len(neighbors)))
+        self._covered[depth] = outcome.accepted
+
+    def _on_backtrack(self, depth: int, emb: List[int]) -> None:
+        if self.cmap is None or depth not in self._insert_depths:
+            return
+        if self._covered.pop(depth, False):
+            cycles = self.cmap.remove_level(depth)
+            self._charge_busy(cycles)
+            self.stats.cmap_cycles += cycles

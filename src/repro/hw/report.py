@@ -1,0 +1,90 @@
+"""Simulation report: the numbers the paper's figures are built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["SimReport"]
+
+
+@dataclass
+class SimReport:
+    """Aggregated outcome of one accelerator simulation."""
+
+    #: Match count per pattern (identical to the software engines).
+    counts: Tuple[int, ...]
+    #: Makespan in PE cycles and the wall-clock it implies at pe_freq.
+    cycles: float
+    seconds: float
+    num_pes: int
+    #: Aggregate cycle breakdown across PEs.
+    busy_cycles: float
+    stall_cycles: float
+    pruner_cycles: float
+    setop_cycles: float
+    cmap_cycles: float
+    #: Memory-system event counts.
+    noc_requests: int
+    dram_accesses: int
+    l2_hits: int
+    l2_misses: int
+    private_hits: int
+    private_misses: int
+    #: c-map behaviour.
+    cmap_reads: int
+    cmap_writes: int
+    cmap_overflows: int
+    cmap_fallbacks: int
+    frontier_reads: int
+    tasks: int
+    #: Per-PE total cycles (load balance analysis, Fig. 15 discussion).
+    per_pe_cycles: List[float] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        accesses = self.l2_hits + self.l2_misses
+        return self.l2_misses / accesses if accesses else 0.0
+
+    @property
+    def cmap_read_ratio(self) -> float:
+        total = self.cmap_reads + self.cmap_writes
+        return self.cmap_reads / total if total else 0.0
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Share of aggregate PE time spent stalled on memory."""
+        total = self.busy_cycles + self.stall_cycles
+        return self.stall_cycles / total if total else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """Makespan / mean PE time; 1.0 is perfect balance."""
+        if not self.per_pe_cycles:
+            return 1.0
+        mean = sum(self.per_pe_cycles) / len(self.per_pe_cycles)
+        return max(self.per_pe_cycles) / mean if mean else 1.0
+
+    def speedup_over(self, baseline_seconds: float) -> float:
+        return baseline_seconds / self.seconds if self.seconds else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"matches      : {self.total}",
+            f"PEs          : {self.num_pes}",
+            f"cycles       : {self.cycles:.0f}",
+            f"time         : {self.seconds * 1e3:.3f} ms",
+            f"mem-bound    : {self.memory_bound_fraction * 100:.1f}%",
+            f"NoC requests : {self.noc_requests}",
+            f"DRAM accesses: {self.dram_accesses}",
+            f"L2 miss rate : {self.l2_miss_rate * 100:.1f}%",
+            f"c-map r/w    : {self.cmap_reads}/{self.cmap_writes}"
+            f" (overflows {self.cmap_overflows})",
+            f"imbalance    : {self.load_imbalance:.2f}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Named patterns used throughout the paper.
+
+Includes the evaluation patterns (triangle, k-cliques, 4-cycle, diamond)
+plus the remaining 3- and 4-vertex motifs of Fig. 3 and a few larger
+patterns used in examples and stress tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import PatternError
+from .pattern import Pattern
+
+__all__ = [
+    "edge",
+    "wedge",
+    "triangle",
+    "k_clique",
+    "path",
+    "star",
+    "cycle",
+    "four_cycle",
+    "diamond",
+    "tailed_triangle",
+    "four_clique",
+    "five_clique",
+    "house",
+    "from_name",
+    "PATTERN_NAMES",
+]
+
+
+def edge() -> Pattern:
+    """Single edge (the 2-clique)."""
+    return Pattern(2, [(0, 1)], name="edge")
+
+
+def wedge() -> Pattern:
+    """Path of three vertices (open triangle)."""
+    return Pattern(3, [(0, 1), (1, 2)], name="wedge")
+
+
+def triangle() -> Pattern:
+    """3-clique, the TC pattern."""
+    return Pattern(3, [(0, 1), (0, 2), (1, 2)], name="triangle")
+
+
+def k_clique(k: int) -> Pattern:
+    """Complete graph on k vertices (the k-CL pattern)."""
+    if k < 2:
+        raise PatternError("k-clique needs k >= 2")
+    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
+    return Pattern(k, edges, name=f"{k}-clique")
+
+
+def path(k: int) -> Pattern:
+    """Simple path on k vertices."""
+    if k < 2:
+        raise PatternError("path needs k >= 2")
+    return Pattern(k, [(i, i + 1) for i in range(k - 1)], name=f"{k}-path")
+
+
+def star(leaves: int) -> Pattern:
+    """Star with the given number of leaves (leaves+1 vertices)."""
+    if leaves < 1:
+        raise PatternError("star needs at least one leaf")
+    return Pattern(
+        leaves + 1, [(0, i) for i in range(1, leaves + 1)],
+        name=f"{leaves}-star",
+    )
+
+
+def cycle(k: int) -> Pattern:
+    """Simple cycle on k >= 3 vertices."""
+    if k < 3:
+        raise PatternError("cycle needs k >= 3")
+    edges = [(i, (i + 1) % k) for i in range(k)]
+    return Pattern(k, edges, name=f"{k}-cycle")
+
+
+def four_cycle() -> Pattern:
+    """The 4-cycle, the paper's running example (Fig. 4, Listing 1)."""
+    return cycle(4)
+
+
+def diamond() -> Pattern:
+    """4-clique minus one edge (Fig. 11b)."""
+    return Pattern(
+        4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)], name="diamond"
+    )
+
+
+def tailed_triangle() -> Pattern:
+    """Triangle with a pendant edge (Fig. 11c)."""
+    return Pattern(4, [(0, 1), (0, 2), (1, 2), (2, 3)], name="tailed-triangle")
+
+
+def four_clique() -> Pattern:
+    return k_clique(4)
+
+
+def five_clique() -> Pattern:
+    return k_clique(5)
+
+
+def house() -> Pattern:
+    """5-vertex 'house': a 4-cycle with a triangle roof."""
+    return Pattern(
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)],
+        name="house",
+    )
+
+
+_FACTORIES = {
+    "edge": edge,
+    "wedge": wedge,
+    "triangle": triangle,
+    "4-cycle": four_cycle,
+    "diamond": diamond,
+    "tailed-triangle": tailed_triangle,
+    "4-clique": four_clique,
+    "5-clique": five_clique,
+    "house": house,
+    "4-path": lambda: path(4),
+    "3-star": lambda: star(3),
+    "5-cycle": lambda: cycle(5),
+}
+
+PATTERN_NAMES = tuple(sorted(_FACTORIES))
+
+
+def from_name(name: str) -> Pattern:
+    """Look up a named pattern; also parses ``"<k>-clique"`` for any k."""
+    if name in _FACTORIES:
+        return _FACTORIES[name]()
+    if name.endswith("-clique"):
+        try:
+            return k_clique(int(name.split("-", 1)[0]))
+        except ValueError:
+            pass
+    raise PatternError(
+        f"unknown pattern {name!r}; known: {', '.join(PATTERN_NAMES)}"
+    )

@@ -1,0 +1,111 @@
+"""Tests for the flexminer command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "flexminer" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_prints_ir(self, capsys):
+        assert main(["compile", "4-cycle"]) == 0
+        out = capsys.readouterr().out
+        assert "pruneBy" in out
+        assert "cmap:" in out
+
+    def test_induced_flag(self, capsys):
+        assert main(["compile", "4-cycle", "--induced"]) == 0
+        assert "notAdj" in capsys.readouterr().out
+
+    def test_unknown_pattern(self):
+        from repro.errors import PatternError
+
+        with pytest.raises(PatternError):
+            main(["compile", "octagon-of-doom"])
+
+
+class TestMineAndSim:
+    def test_mine_dataset(self, capsys):
+        assert main(["mine", "triangle", "--dataset", "As"]) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+
+    def test_mine_file(self, tmp_path, capsys):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n1 2\n0 2\n")
+        assert main(["mine", "triangle", "--graph", str(path)]) == 0
+        assert "matches: 1" in capsys.readouterr().out
+
+    def test_sim(self, capsys):
+        assert main(
+            ["sim", "triangle", "--dataset", "As", "--pes", "4",
+             "--cmap-kb", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PEs          : 4" in out
+        assert "NoC requests" in out
+
+    def test_sim_and_mine_agree(self, capsys):
+        main(["mine", "triangle", "--dataset", "As"])
+        mine_out = capsys.readouterr().out
+        main(["sim", "triangle", "--dataset", "As", "--pes", "2"])
+        sim_out = capsys.readouterr().out
+        mined = int(mine_out.split("matches:")[1].split()[0])
+        simmed = int(sim_out.split("matches      :")[1].split()[0])
+        assert mined == simmed
+
+
+class TestOtherCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("As", "Mi", "Pa", "Yo", "Lj", "Or"):
+            assert name in out
+
+    def test_motifs(self, capsys):
+        assert main(["motifs", "3", "--dataset", "As"]) == 0
+        out = capsys.readouterr().out
+        assert "wedge" in out and "triangle" in out
+
+
+class TestValidateAndEstimate:
+    def test_validate_good_plan(self, tmp_path, capsys):
+        main(["compile", "4-cycle"])
+        ir_text = capsys.readouterr().out
+        path = tmp_path / "plan.ir"
+        path.write_text(ir_text)
+        assert main(["validate", str(path), "--trials", "5"]) == 0
+        assert "validated" in capsys.readouterr().out
+
+    def test_validate_broken_plan(self, tmp_path, capsys):
+        main(["compile", "4-cycle"])
+        ir_text = capsys.readouterr().out
+        # Strip every symmetry bound: duplicates appear.
+        broken = ir_text.replace("pruneBy(v0", "pruneBy(inf").replace(
+            "pruneBy(v1", "pruneBy(inf"
+        )
+        path = tmp_path / "broken.ir"
+        path.write_text(broken)
+        assert main(["validate", str(path), "--trials", "20"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "triangle", "--dataset", "As"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated" in out
+
+    def test_estimate_with_measure(self, capsys):
+        assert main(
+            ["estimate", "triangle", "--dataset", "As", "--measure"]
+        ) == 0
+        assert "measured" in capsys.readouterr().out

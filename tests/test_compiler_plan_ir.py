@@ -1,0 +1,248 @@
+"""Tests for the plan data model, compiler facade, hints, and textual IR."""
+
+import pytest
+
+from repro.errors import CompileError, IRSyntaxError
+from repro.patterns import (
+    Pattern,
+    diamond,
+    enumerate_motifs,
+    four_cycle,
+    k_clique,
+    tailed_triangle,
+    triangle,
+    wedge,
+)
+from repro.compiler import (
+    ExecutionPlan,
+    VertexStep,
+    cmap_insert_hints,
+    cmap_needed_depths,
+    compile_motifs,
+    compile_multi,
+    compile_pattern,
+    emit_ir,
+    emit_multi_ir,
+    parse_ir,
+)
+
+
+class TestVertexStep:
+    def test_valid_step(self):
+        s = VertexStep(depth=3, extender=2, connected=(1,), upper_bounds=(0,))
+        assert s.full_connected == (1, 2)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(CompileError):
+            VertexStep(depth=2, extender=2)
+
+    def test_extender_in_connected_rejected(self):
+        with pytest.raises(CompileError):
+            VertexStep(depth=2, extender=1, connected=(1,))
+
+    def test_conflicting_constraints_rejected(self):
+        with pytest.raises(CompileError):
+            VertexStep(
+                depth=3, extender=2, connected=(0,), disconnected=(0,)
+            )
+
+    def test_depth_zero_rejected(self):
+        with pytest.raises(CompileError):
+            VertexStep(depth=0, extender=0)
+
+    def test_bad_base_step(self):
+        with pytest.raises(CompileError):
+            VertexStep(depth=2, extender=1, base_step=5)
+
+    def test_remainders_require_base(self):
+        with pytest.raises(CompileError):
+            VertexStep(depth=2, extender=1, extra_connected=(0,))
+
+    def test_remainders_must_be_constraints(self):
+        with pytest.raises(CompileError):
+            VertexStep(
+                depth=3,
+                extender=2,
+                connected=(1,),
+                base_step=1,
+                extra_connected=(0,),
+            )
+
+
+class TestCompile:
+    def test_clique_auto_orients(self):
+        plan = compile_pattern(k_clique(4))
+        assert plan.oriented
+        assert all(not s.upper_bounds for s in plan.steps)
+
+    def test_non_clique_never_orients(self):
+        plan = compile_pattern(four_cycle())
+        assert not plan.oriented
+        with pytest.raises(CompileError):
+            compile_pattern(four_cycle(), use_orientation=True)
+
+    def test_clique_can_disable_orientation(self):
+        plan = compile_pattern(triangle(), use_orientation=False)
+        assert not plan.oriented
+        assert plan.symmetry_conditions  # symmetry order instead
+
+    def test_induced_steps_carry_disconnected(self):
+        plan = compile_pattern(four_cycle(), induced=True)
+        assert any(s.disconnected for s in plan.steps)
+        edge_plan = compile_pattern(four_cycle(), induced=False)
+        assert all(not s.disconnected for s in edge_plan.steps)
+
+    def test_matching_order_override(self):
+        plan = compile_pattern(diamond(), matching_order=(0, 1, 2, 3))
+        assert plan.matching_order == (0, 1, 2, 3)
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(CompileError):
+            compile_pattern(diamond(), matching_order=(0, 0, 1, 2))
+        # Disconnected order: leaf of tailed-triangle before its anchor.
+        with pytest.raises(CompileError):
+            compile_pattern(
+                tailed_triangle(), matching_order=(3, 0, 1, 2)
+            )
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(CompileError):
+            compile_pattern(Pattern(1, []))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(CompileError):
+            compile_pattern(Pattern(4, [(0, 1), (2, 3)]))
+
+    def test_diamond_frontier_reuse(self):
+        # §V-C: v2 and v3 come from the same adj(v0) ∩ adj(v1) set, so
+        # the last step reuses the depth-2 frontier with no extra work.
+        plan = compile_pattern(diamond(), use_orientation=False)
+        last = plan.steps[-1]
+        assert last.base_step == 2
+        assert last.extra_connected == ()
+        assert last.extra_disconnected == ()
+        assert plan.steps[1].memoize_frontier
+
+    def test_clique_incremental_composition(self):
+        # GraphZero-style S_{d} = S_{d-1} ∩ N(v_{d-1}) for cliques.
+        plan = compile_pattern(k_clique(5))
+        for step in plan.steps[2:]:
+            assert step.base_step == step.depth - 1
+            assert step.extra_connected == (step.depth - 1,)
+
+    def test_four_cycle_has_no_frontier_reuse(self):
+        # §VII-C: "there is no frontier list reuse in 4-cycle".
+        plan = compile_pattern(four_cycle())
+        assert all(s.base_step is None for s in plan.steps)
+
+    def test_plan_without_cmap(self):
+        plan = compile_pattern(four_cycle())
+        assert plan.cmap_insert_depths
+        bare = plan.without_cmap()
+        assert not bare.cmap_insert_depths
+
+
+class TestHints:
+    def test_needed_depths_exclude_extender(self):
+        s = VertexStep(depth=3, extender=2, connected=(0,), disconnected=(1,))
+        assert cmap_needed_depths(s) == (0, 1)
+
+    def test_insert_only_consumed_depths(self):
+        # 4-cycle: exactly one ancestor's connectivity is consumed (§VI-B).
+        plan = compile_pattern(four_cycle())
+        assert len(plan.cmap_insert_depths) == 1
+
+    def test_filter_requires_common_earlier_bound(self):
+        steps = (
+            VertexStep(depth=1, extender=0),
+            VertexStep(depth=2, extender=1, connected=(0,), upper_bounds=(1,)),
+        )
+        depths, filters = cmap_insert_hints(steps)
+        assert depths == (0,)
+        # Bound depth 1 is not known when depth 0 is inserted.
+        assert filters[0] is None
+
+    def test_filter_applied_when_safe(self):
+        steps = (
+            VertexStep(depth=1, extender=0),
+            VertexStep(depth=2, extender=0),
+            VertexStep(
+                depth=3, extender=2, connected=(1,), upper_bounds=(0,)
+            ),
+        )
+        depths, filters = cmap_insert_hints(steps)
+        assert filters[1] == 0
+
+
+class TestMultiPlan:
+    def test_motif_plans_cover_all_patterns(self):
+        plan = compile_motifs(4)
+        assert plan.num_patterns == 6
+        assert plan.leaf_count() == 6
+        assert plan.max_depth() == 3
+
+    def test_prefix_sharing_reduces_nodes(self):
+        plan = compile_motifs(4)
+        unshared = sum(p.num_vertices - 1 for p in plan.patterns)
+        assert plan.node_count() - 1 < unshared
+
+    def test_same_size_required(self):
+        with pytest.raises(CompileError):
+            compile_multi([triangle(), four_cycle()])
+
+    def test_duplicate_patterns_rejected(self):
+        with pytest.raises(CompileError):
+            compile_multi([wedge(), wedge()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompileError):
+            compile_multi([])
+
+
+class TestIR:
+    @pytest.mark.parametrize(
+        "pattern,kwargs",
+        [
+            (triangle(), {}),
+            (k_clique(5), {}),
+            (four_cycle(), {}),
+            (diamond(), {"use_orientation": False}),
+            (four_cycle(), {"induced": True}),
+            (tailed_triangle(), {}),
+        ],
+        ids=lambda x: getattr(x, "name", str(x)),
+    )
+    def test_round_trip(self, pattern, kwargs):
+        plan = compile_pattern(pattern, **kwargs)
+        again = parse_ir(emit_ir(plan))
+        assert again == plan
+
+    def test_listing1_shape(self):
+        # The 4-cycle IR has the Listing 1 structure: a bounded wedge
+        # prefix and a doubly-constrained last step.
+        text = emit_ir(compile_pattern(four_cycle()))
+        assert "v0 in V pruneBy(inf, {})" in text
+        assert "pruneBy(v0, {})" in text
+        assert "cmap:" in text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(IRSyntaxError):
+            parse_ir("not an ir\n")
+        with pytest.raises(IRSyntaxError):
+            parse_ir("")
+
+    def test_parse_rejects_bad_step(self):
+        plan_text = emit_ir(compile_pattern(triangle(), use_orientation=False))
+        broken = plan_text.replace("pruneBy", "pruneXX")
+        with pytest.raises(IRSyntaxError):
+            parse_ir(broken)
+
+    def test_parse_rejects_text_outside_section(self):
+        plan_text = emit_ir(compile_pattern(triangle(), use_orientation=False))
+        with pytest.raises(IRSyntaxError):
+            parse_ir(plan_text.replace("vertex:", "vertices:"))
+
+    def test_multi_ir_mentions_all_patterns(self):
+        text = emit_multi_ir(compile_motifs(3))
+        assert "# matches wedge" in text
+        assert "# matches triangle" in text

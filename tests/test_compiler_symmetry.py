@@ -1,0 +1,131 @@
+"""Tests for symmetry-order generation (paper §II-B, Fig. 6).
+
+The key invariant (checked exhaustively on small random graphs): with
+symmetry breaking each distinct match is found exactly once, so
+
+    matches_with_breaking * |Aut(P)| == matches_without_breaking
+"""
+
+import itertools
+
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.patterns import (
+    Pattern,
+    cycle,
+    diamond,
+    four_cycle,
+    k_clique,
+    path,
+    star,
+    tailed_triangle,
+    triangle,
+    wedge,
+)
+from repro.compiler import (
+    choose_matching_order,
+    symmetry_conditions,
+    transitive_reduction,
+)
+
+PATTERNS = [
+    triangle(),
+    wedge(),
+    four_cycle(),
+    diamond(),
+    tailed_triangle(),
+    k_clique(4),
+    path(4),
+    star(3),
+    cycle(5),
+    k_clique(5),
+]
+
+
+def count_labelled_matches(graph, pattern, order, conditions):
+    """Count injective homomorphisms respecting the depth conditions."""
+    n = graph.num_vertices
+    position = {v: d for d, v in enumerate(order)}
+    count = 0
+    for mapping in itertools.permutations(range(n), pattern.num_vertices):
+        # mapping[d] is the data vertex at depth d.
+        ok = all(
+            graph.has_edge(mapping[position[u]], mapping[position[v]])
+            for u, v in pattern.edges
+        )
+        if not ok:
+            continue
+        if all(mapping[b] < mapping[a] for a, b in conditions):
+            count += 1
+    return count
+
+
+class TestInvariant:
+    @pytest.mark.parametrize(
+        "pattern", PATTERNS[:8], ids=lambda p: p.name
+    )
+    def test_exactly_one_representative(self, pattern):
+        graph = erdos_renyi(9, 0.45, seed=31)
+        order = choose_matching_order(pattern)
+        conditions = symmetry_conditions(pattern, order)
+        with_breaking = count_labelled_matches(
+            graph, pattern, order, conditions
+        )
+        without = count_labelled_matches(graph, pattern, order, ())
+        assert without == with_breaking * len(pattern.automorphisms())
+
+
+class TestConditionShape:
+    def test_every_condition_points_backward(self):
+        for pattern in PATTERNS:
+            order = choose_matching_order(pattern)
+            for a, b in symmetry_conditions(pattern, order):
+                assert a < b  # later vertex bounded by an earlier one
+
+    def test_asymmetric_pattern_has_no_conditions(self):
+        p = Pattern(4, [(0, 1), (1, 2), (2, 3), (0, 2)], name="paw-path")
+        if len(p.automorphisms()) == 1:
+            order = choose_matching_order(p)
+            assert symmetry_conditions(p, order) == ()
+
+    def test_clique_chain(self):
+        # k-clique: v1<v0, v2<v1, ..., a full chain after reduction.
+        p = k_clique(4)
+        order = choose_matching_order(p)
+        conditions = symmetry_conditions(p, order)
+        assert set(conditions) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_diamond_matches_paper(self):
+        # Fig. 11(b): {v1 < v0, v3 < v2}.
+        p = diamond()
+        order = choose_matching_order(p)
+        conditions = symmetry_conditions(p, order)
+        assert set(conditions) == {(0, 1), (2, 3)}
+
+    def test_number_of_conditions_bounded(self):
+        # After transitive reduction the condition count stays small.
+        for pattern in PATTERNS:
+            order = choose_matching_order(pattern)
+            conditions = symmetry_conditions(pattern, order)
+            assert len(conditions) <= pattern.num_vertices * 2
+
+
+class TestTransitiveReduction:
+    def test_drops_implied(self):
+        reduced = transitive_reduction(((0, 1), (1, 2), (0, 2)))
+        assert set(reduced) == {(0, 1), (1, 2)}
+
+    def test_keeps_independent(self):
+        conditions = ((0, 1), (2, 3))
+        assert set(transitive_reduction(conditions)) == set(conditions)
+
+    def test_long_chain(self):
+        full = tuple(
+            (a, b) for a in range(5) for b in range(a + 1, 5)
+        )
+        reduced = transitive_reduction(full)
+        assert set(reduced) == {(i, i + 1) for i in range(4)}
+
+    def test_empty(self):
+        assert transitive_reduction(()) == ()

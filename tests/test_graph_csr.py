@@ -1,0 +1,141 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph
+
+
+def square():
+    return CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = square()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.num_directed_edges == 8
+
+    def test_neighbor_lists_sorted(self):
+        g = CSRGraph.from_edges([(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_duplicate_edges_dropped(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges([(0, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.degree(3) == 0
+
+    def test_isolated_vertices_preserved(self):
+        g = CSRGraph.from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges([(-1, 2)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges([(0, 5)], num_vertices=3)
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges([(0, 1, 2)])
+
+    def test_from_adjacency(self):
+        g = CSRGraph.from_adjacency([[1, 2], [0], [0]])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+
+    def test_directed_from_edges(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], directed=True)
+        assert g.num_edges == 2
+        assert g.neighbors(1).tolist() == [2]
+        assert g.degree(2) == 0
+
+
+class TestValidation:
+    def test_unsorted_rows_rejected(self):
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([2, 1, 0, 0])
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr, indices, directed=True)
+
+    def test_asymmetric_undirected_rejected(self):
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr, indices, directed=False)
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([1, 2]), np.array([0]), directed=True)
+
+    def test_self_loop_in_csr_rejected(self):
+        indptr = np.array([0, 1])
+        indices = np.array([0])
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr, indices, directed=True)
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degrees().tolist() == [3, 1, 1, 1]
+        assert g.max_degree() == 3
+        assert g.avg_degree() == pytest.approx(1.5)
+
+    def test_has_edge(self):
+        g = square()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_edges_iteration_unique(self):
+        g = square()
+        edges = list(g.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v in edges)
+
+    def test_neighbor_view_is_read_only(self):
+        g = square()
+        view = g.neighbors(0)
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+    def test_edgelist_bytes(self):
+        g = square()
+        assert g.edgelist_bytes(0) == 8  # two neighbors, 4 bytes each
+
+    def test_equality(self):
+        assert square() == square()
+        assert square() != CSRGraph.from_edges([(0, 1)])
+
+    def test_repr_mentions_shape(self):
+        text = repr(square())
+        assert "|V|=4" in text and "|E|=4" in text
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self):
+        g = square()
+        back = CSRGraph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_triangle_count_agrees(self):
+        import networkx as nx
+
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert sum(nx.triangles(g.to_networkx()).values()) // 3 == 1

@@ -1,0 +1,119 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    power_law_cluster,
+    power_law_exponent,
+    rmat,
+    star_graph,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: erdos_renyi(60, 0.1, seed=7),
+            lambda: rmat(8, 6.0, seed=7),
+            lambda: power_law_cluster(100, 3, 0.5, seed=7),
+        ],
+    )
+    def test_same_seed_same_graph(self, make):
+        assert make() == make()
+
+    def test_different_seed_different_graph(self):
+        assert rmat(8, 6.0, seed=1) != rmat(8, 6.0, seed=2)
+
+
+class TestErdosRenyi:
+    def test_edge_probability_respected(self):
+        g = erdos_renyi(200, 0.05, seed=3)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=1).num_edges == 45
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi(10, 1.5)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(9, 8.0, seed=5)
+        assert g.num_vertices == 512
+        # Duplicates get merged so edges land below the nominal count.
+        assert 0.4 * 512 * 4 < g.num_edges <= 512 * 4
+
+    def test_heavy_tail(self):
+        g = rmat(11, 8.0, seed=5)
+        # Power-law-ish: max degree far above average.
+        assert g.max_degree() > 8 * g.avg_degree()
+        alpha = power_law_exponent(g)
+        assert 1.2 < alpha < 4.0
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphFormatError):
+            rmat(5, 4.0, a=0.9, b=0.9, c=0.9)
+
+
+class TestPowerLawCluster:
+    def test_high_clustering(self):
+        import networkx as nx
+
+        g = power_law_cluster(300, 4, 0.7, seed=9)
+        assert nx.average_clustering(g.to_networkx()) > 0.1
+
+    def test_attach_edges_bounds(self):
+        with pytest.raises(GraphFormatError):
+            power_law_cluster(10, 0, 0.5)
+        with pytest.raises(GraphFormatError):
+            power_law_cluster(10, 10, 0.5)
+
+    def test_connected(self):
+        import networkx as nx
+
+        g = power_law_cluster(150, 3, 0.4, seed=2)
+        assert nx.is_connected(g.to_networkx())
+
+
+class TestStructuredGraphs:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.num_vertices == 8
+        assert g.degree(0) == 7
+
+    def test_cycle_and_path(self):
+        assert cycle_graph(5).num_edges == 5
+        assert path_graph(5).num_edges == 4
+        with pytest.raises(GraphFormatError):
+            cycle_graph(2)
+
+    def test_grid_is_triangle_free(self):
+        import networkx as nx
+
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        assert sum(nx.triangles(g.to_networkx()).values()) == 0
+
+    def test_barbell(self):
+        g = barbell_graph(4, 2)
+        assert g.num_vertices == 10
+        # Two K4s plus the 3-edge connecting chain.
+        assert g.num_edges == 2 * 6 + 3

@@ -1,0 +1,154 @@
+"""Tests for the hardware c-map model (paper §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw import FlexMinerConfig, HardwareCMap
+
+
+def make(capacity=64, **kwargs):
+    return HardwareCMap(capacity, **kwargs)
+
+
+class TestFunctional:
+    def test_insert_then_query(self):
+        cm = make()
+        cm.try_insert([4, 5, 6], depth=0)
+        assert cm.query(4) == 0b001
+        assert cm.query(9) == 0
+
+    def test_value_accumulates_bits(self):
+        # Fig. 12: vertex 4 connected to depths 0 and 1 -> '011'.
+        cm = make()
+        cm.try_insert([4, 5], depth=0)
+        cm.try_insert([4, 7], depth=1)
+        assert cm.query(4) == 0b011
+        assert cm.query(5) == 0b001
+        assert cm.query(7) == 0b010
+
+    def test_stack_removal_restores_state(self):
+        cm = make()
+        cm.try_insert([1, 2, 3], depth=0)
+        cm.try_insert([2, 3, 4], depth=1)
+        cm.remove_level(1)
+        assert cm.query(2) == 0b001
+        assert cm.query(4) == 0
+        cm.remove_level(0)
+        assert cm.occupancy == 0
+
+    def test_out_of_order_removal_rejected(self):
+        cm = make()
+        cm.try_insert([1], depth=0)
+        cm.try_insert([2], depth=1)
+        with pytest.raises(SimulationError):
+            cm.remove_level(0)
+
+    def test_remove_on_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            make().remove_level(0)
+
+    def test_reset_clears_everything(self):
+        cm = make()
+        cm.try_insert([1, 2], depth=0)
+        cm.reset()
+        assert cm.occupancy == 0
+        assert cm.query(1) == 0
+
+
+class TestOverflow:
+    def test_projected_overflow_rejected(self):
+        cm = make(capacity=16, occupancy_threshold=0.75)
+        outcome = cm.try_insert(list(range(13)), depth=0)
+        assert not outcome.accepted
+        assert cm.stats.overflows == 1
+        assert cm.occupancy == 0  # nothing was written
+
+    def test_fits_respects_threshold(self):
+        cm = make(capacity=100, occupancy_threshold=0.5)
+        assert cm.fits(50)
+        assert not cm.fits(51)
+
+    def test_depth_beyond_value_bits_rejected(self):
+        # §VII-D: the 8-bit value limits representable depths.
+        cm = make(value_bits=8)
+        outcome = cm.try_insert([1], depth=8)
+        assert not outcome.accepted
+
+    def test_duplicate_keys_do_not_grow_occupancy(self):
+        cm = make(capacity=16, occupancy_threshold=1.0)
+        cm.try_insert([1, 2, 3], depth=0)
+        cm.try_insert([1, 2, 3], depth=1)
+        assert cm.occupancy == 3
+
+
+class TestTiming:
+    def test_single_cycle_at_low_occupancy(self):
+        # §VI-A: "most accesses take only a single cycle".
+        cm = make(capacity=1024)
+        outcome = cm.try_insert(list(range(100)), depth=0)
+        assert outcome.accepted
+        assert outcome.cycles == 100  # one per entry
+
+    def test_query_batch_counts(self):
+        cm = make(capacity=1024)
+        cycles = cm.query_batch(50)
+        assert cycles >= 50
+        assert cm.stats.queries == 50
+
+    def test_probe_cost_rises_with_load(self):
+        lightly = make(capacity=1024)
+        heavily = make(capacity=1024, occupancy_threshold=1.0)
+        heavily.try_insert(list(range(900)), depth=0)
+        assert heavily._expected_probe_groups() > lightly._expected_probe_groups()
+
+    def test_read_ratio(self):
+        cm = make()
+        cm.try_insert([1, 2, 3], depth=0)
+        for _ in range(9):
+            cm.query_batch(1)
+        assert cm.stats.read_ratio == pytest.approx(9 / 12)
+
+
+class TestExactMode:
+    def test_exact_matches_analytic_functionally(self):
+        exact = make(capacity=64, exact=True)
+        approx = make(capacity=64, exact=False)
+        for cm in (exact, approx):
+            cm.try_insert([5, 69, 133], depth=0)  # all hash to slot 5
+            cm.try_insert([6], depth=1)
+        for key in (5, 69, 133, 6, 7):
+            assert exact.query(key) == approx.query(key)
+
+    def test_exact_collision_probes_cost_more(self):
+        cm = make(capacity=64, banks=1, exact=True)
+        out1 = cm.try_insert([5], depth=0)
+        out2 = cm.try_insert([69], depth=1)  # collides with 5
+        assert out2.cycles > out1.cycles
+
+    def test_exact_delete_frees_slots(self):
+        cm = make(capacity=8, exact=True, occupancy_threshold=1.0)
+        for round_ in range(5):
+            assert cm.try_insert([1, 2, 3], depth=0).accepted
+            cm.remove_level(0)
+        assert cm.occupancy == 0
+
+    def test_banked_probing_divides_cycles(self):
+        wide = make(capacity=64, banks=4, exact=True)
+        narrow = make(capacity=64, banks=1, exact=True)
+        for cm in (wide, narrow):
+            cm.try_insert([0, 64, 128, 192], depth=0)  # same home slot
+        assert (
+            wide.stats.insert_cycles <= narrow.stats.insert_cycles
+        )
+
+
+class TestFromConfig:
+    def test_disabled_when_zero_bytes(self):
+        config = FlexMinerConfig(cmap_bytes=0)
+        assert HardwareCMap.from_config(config) is None
+
+    def test_sized_from_config(self):
+        config = FlexMinerConfig(cmap_bytes=8 * 1024, cmap_entry_bytes=5)
+        cm = HardwareCMap.from_config(config)
+        assert cm.capacity == 8 * 1024 // 5

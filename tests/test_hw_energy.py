@@ -1,0 +1,87 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.compiler import compile_pattern
+from repro.graph import erdos_renyi
+from repro.hw import (
+    EnergyConfig,
+    FlexMinerConfig,
+    cpu_energy,
+    estimate_energy,
+    simulate,
+)
+from repro.patterns import k_clique, triangle
+
+GRAPH = erdos_renyi(64, 0.25, seed=44)
+
+
+def run(pattern=None, **config_overrides):
+    plan = compile_pattern(pattern or k_clique(4))
+    config = FlexMinerConfig(num_pes=4, **config_overrides)
+    return simulate(GRAPH, plan, config), config
+
+
+class TestEstimate:
+    def test_components_present_and_positive(self):
+        report, config = run()
+        breakdown = estimate_energy(report, config)
+        for name in ("pe", "cmap", "private", "l2", "noc", "dram"):
+            assert name in breakdown.dynamic_j
+            assert breakdown.dynamic_j[name] >= 0
+        assert breakdown.leakage_j > 0
+        assert breakdown.total_j > 0
+
+    def test_total_is_sum(self):
+        report, config = run()
+        b = estimate_energy(report, config)
+        assert b.total_j == pytest.approx(
+            sum(b.dynamic_j.values()) + b.leakage_j
+        )
+
+    def test_average_watts(self):
+        report, config = run()
+        b = estimate_energy(report, config)
+        assert b.average_watts == pytest.approx(b.total_j / b.seconds)
+
+    def test_more_work_more_energy(self):
+        small, config = run(pattern=triangle())
+        big, _ = run(pattern=k_clique(4))
+        assert (
+            estimate_energy(big, config).total_j
+            > estimate_energy(small, config).total_j
+        )
+
+    def test_custom_constants_scale(self):
+        report, config = run()
+        base = estimate_energy(report, config)
+        doubled = estimate_energy(
+            report, config, EnergyConfig(pj_per_pe_cycle=2.4)
+        )
+        assert doubled.dynamic_j["pe"] == pytest.approx(
+            2 * base.dynamic_j["pe"]
+        )
+
+    def test_summary_renders(self):
+        report, config = run()
+        text = estimate_energy(report, config).summary()
+        assert "total=" in text and "avg=" in text
+
+
+class TestCpuComparison:
+    def test_cpu_energy_scales_with_time(self):
+        assert cpu_energy(2e-3).total_j == pytest.approx(
+            2 * cpu_energy(1e-3).total_j, rel=0.01
+        )
+
+    def test_accelerator_beats_cpu_energy_on_same_work(self):
+        # The headline efficiency claim: tiny PEs at 1.3 GHz versus ten
+        # big cores — even with equal runtimes FlexMiner wins on energy.
+        report, config = run()
+        accel = estimate_energy(report, config)
+        cpu = cpu_energy(report.seconds)
+        assert accel.total_j < cpu.total_j
+
+    def test_zero_seconds_guard(self):
+        b = cpu_energy(0.0)
+        assert b.average_watts == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the iterative extender FSM (paper Fig. 10).
+
+The FSM must be exactly equivalent to the recursive reference engine —
+that equivalence is what lets the hardware implement DFS without
+recursion.
+"""
+
+import pytest
+
+from repro.compiler import compile_pattern
+from repro.engine import mine
+from repro.graph import CSRGraph, complete_graph, erdos_renyi
+from repro.hw import ExtenderFSM, PEState
+from repro.patterns import (
+    diamond,
+    four_cycle,
+    k_clique,
+    tailed_triangle,
+    triangle,
+)
+
+GRAPH = erdos_renyi(32, 0.3, seed=55)
+
+
+class TestEquivalenceWithRecursion:
+    @pytest.mark.parametrize(
+        "pattern,kwargs",
+        [
+            (triangle(), {}),
+            (triangle(), {"use_orientation": False}),
+            (k_clique(4), {}),
+            (four_cycle(), {}),
+            (diamond(), {"use_orientation": False}),
+            (tailed_triangle(), {}),
+            (four_cycle(), {"induced": True}),
+        ],
+        ids=lambda x: getattr(x, "name", str(x)),
+    )
+    def test_counts_match(self, pattern, kwargs):
+        plan = compile_pattern(pattern, **kwargs)
+        fsm = ExtenderFSM(GRAPH, plan)
+        assert fsm.run() == mine(GRAPH, plan).counts[0]
+
+    def test_per_task_counts_match(self):
+        plan = compile_pattern(four_cycle())
+        fsm = ExtenderFSM(GRAPH, plan)
+        from repro.engine import PatternAwareEngine
+
+        for v in range(5):
+            engine = PatternAwareEngine(GRAPH, plan)
+            engine.run_task(v)
+            before = fsm.matches
+            fsm.run_task(v)
+            assert fsm.matches - before == engine._counts[0]
+
+
+class TestFsmMechanics:
+    def test_returns_to_idle(self):
+        fsm = ExtenderFSM(GRAPH, compile_pattern(triangle()))
+        fsm.run_task(0)
+        assert fsm.state is PEState.IDLE
+
+    def test_isolated_vertex_is_trivial_task(self):
+        g = CSRGraph.from_edges([(1, 2)], num_vertices=4)
+        fsm = ExtenderFSM(g, compile_pattern(triangle()))
+        fsm.run_task(0)
+        assert fsm.matches == 0
+        assert fsm.state is PEState.IDLE
+
+    def test_complete_graph(self):
+        from math import comb
+
+        g = complete_graph(8)
+        fsm = ExtenderFSM(g, compile_pattern(k_clique(4)))
+        assert fsm.run() == comb(8, 4)
+
+    def test_matches_accumulate_across_tasks(self):
+        fsm = ExtenderFSM(GRAPH, compile_pattern(triangle()))
+        fsm.run()
+        total = fsm.matches
+        fsm.run()
+        assert fsm.matches == 2 * total

@@ -1,0 +1,100 @@
+"""Deeper multi-pattern (k-MC) behaviour tests."""
+
+from math import comb
+
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    star_graph,
+)
+from repro.patterns import enumerate_motifs
+from repro.compiler import compile_motifs, compile_multi, emit_multi_ir
+from repro.engine import mine_multi
+from repro.hw import FlexMinerConfig, simulate
+
+
+class TestStructuredGraphTruths:
+    def test_star_has_only_stars_and_wedges(self):
+        g = star_graph(7)
+        res3 = mine_multi(g, compile_motifs(3))
+        assert res3.counts == (comb(7, 2), 0)  # wedges, triangles
+        res4 = mine_multi(g, compile_motifs(4))
+        by_name = dict(zip(
+            [m.name for m in enumerate_motifs(4)], res4.counts
+        ))
+        assert by_name["3-star"] == comb(7, 3)
+        assert sum(v for k, v in by_name.items() if k != "3-star") == 0
+
+    def test_cycle_graph_motifs(self):
+        n = 9
+        g = cycle_graph(n)
+        res = mine_multi(g, compile_motifs(4))
+        by_name = dict(zip(
+            [m.name for m in enumerate_motifs(4)], res.counts
+        ))
+        assert by_name["4-path"] == n  # one path per starting edge walk
+        assert by_name["4-cycle"] == 0
+        assert by_name["4-clique"] == 0
+
+    def test_complete_graph_motifs(self):
+        g = complete_graph(7)
+        res = mine_multi(g, compile_motifs(4))
+        by_name = dict(zip(
+            [m.name for m in enumerate_motifs(4)], res.counts
+        ))
+        # Every induced 4-subgraph of K7 is a 4-clique.
+        assert by_name["4-clique"] == comb(7, 4)
+        assert sum(res.counts) == comb(7, 4)
+
+    def test_grid_graph_motifs(self):
+        g = grid_graph(4, 4)
+        res = mine_multi(g, compile_motifs(3))
+        # Triangle-free lattice: every connected triple is a wedge.
+        assert res.counts[1] == 0
+        assert res.counts[0] > 0
+
+
+class TestTreeExecution:
+    def test_branch_counts_independent_of_merge(self):
+        # Mining motifs individually equals the merged-tree counts.
+        g = erdos_renyi(22, 0.35, seed=61)
+        merged = mine_multi(g, compile_motifs(4)).counts
+        individual = []
+        from repro.compiler import compile_pattern
+        from repro.engine import mine
+
+        for motif in enumerate_motifs(4):
+            plan = compile_pattern(
+                motif, induced=True, use_orientation=False
+            )
+            individual.append(mine(g, plan).counts[0])
+        assert merged == tuple(individual)
+
+    def test_subset_of_motifs(self):
+        g = erdos_renyi(20, 0.4, seed=62)
+        wedge, triangle = enumerate_motifs(3)
+        plan = compile_multi([triangle, wedge])  # reversed order
+        counts = mine_multi(g, plan).counts
+        full = mine_multi(g, compile_motifs(3)).counts
+        assert counts == (full[1], full[0])
+
+    def test_simulator_on_4mc(self):
+        g = erdos_renyi(24, 0.3, seed=63)
+        plan = compile_motifs(4)
+        sw = mine_multi(g, plan)
+        hw = simulate(g, plan, FlexMinerConfig(num_pes=3))
+        assert hw.counts == sw.counts
+
+    def test_multi_ir_lists_every_branch(self):
+        text = emit_multi_ir(compile_motifs(4))
+        for motif in enumerate_motifs(4):
+            assert f"# matches {motif.name}" in text
+
+    def test_empty_graph_all_zero(self):
+        g = CSRGraph.from_edges([], num_vertices=6)
+        assert mine_multi(g, compile_motifs(3)).counts == (0, 0)

@@ -1,0 +1,90 @@
+"""Package-surface and integration tests.
+
+Checks the things a downstream user hits first: the exception hierarchy,
+the public ``__all__`` exports actually resolving, version metadata, and
+the examples executing end to end.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for name in (
+            "GraphFormatError",
+            "PatternError",
+            "CompileError",
+            "IRSyntaxError",
+            "SimulationError",
+            "ConfigError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_ir_error_is_compile_error(self):
+        assert issubclass(errors.IRSyntaxError, errors.CompileError)
+
+    def test_single_catch_at_api_boundary(self):
+        from repro.patterns import from_name
+
+        with pytest.raises(errors.ReproError):
+            from_name("not-a-pattern")
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graph",
+            "repro.patterns",
+            "repro.compiler",
+            "repro.engine",
+            "repro.hw",
+            "repro.apps",
+            "repro.bench",
+        ],
+    )
+    def test_all_exports_resolve(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_every_public_symbol_documented(self):
+        import importlib
+
+        for module_name in ("repro.compiler", "repro.hw", "repro.engine"):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if callable(obj) or isinstance(obj, type):
+                    assert obj.__doc__, f"{module_name}.{name} undocumented"
+
+
+@pytest.mark.parametrize(
+    "example",
+    ["quickstart.py", "social_cliques.py"],
+)
+def test_example_runs(example):
+    """The quick examples must execute cleanly as scripts."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "examples", example)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

@@ -1,0 +1,131 @@
+"""Tests for partitioned mining (paper §VII-D future work)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graph import erdos_renyi, induced_subgraph, rmat
+from repro.patterns import diamond, four_cycle, k_clique, triangle
+from repro.compiler import compile_motifs, compile_pattern
+from repro.engine import (
+    PartitionedMiner,
+    halo_ball,
+    mine,
+    mine_partitioned,
+    partition_vertices,
+)
+
+GRAPH = rmat(9, 6.0, seed=19)
+
+
+class TestPartitioning:
+    def test_block_partition_is_disjoint_cover(self):
+        parts = partition_vertices(100, 7, method="block")
+        ids = sorted(int(v) for part in parts for v in part)
+        assert ids == list(range(100))
+
+    def test_stride_partition_balances(self):
+        parts = partition_vertices(100, 4, method="stride")
+        assert all(len(p) == 25 for p in parts)
+
+    def test_bad_arguments(self):
+        with pytest.raises(ReproError):
+            partition_vertices(10, 0)
+        with pytest.raises(ReproError):
+            partition_vertices(10, 2, method="magic")
+
+    def test_more_parts_than_vertices(self):
+        parts = partition_vertices(3, 8)
+        assert sum(len(p) for p in parts) == 3
+
+
+class TestHalo:
+    def test_zero_hops_is_roots(self):
+        ball = halo_ball(GRAPH, [5, 9], 0)
+        assert ball.tolist() == [5, 9]
+
+    def test_one_hop_includes_neighbors(self):
+        ball = set(halo_ball(GRAPH, [0], 1).tolist())
+        assert ball == {0} | set(map(int, GRAPH.neighbors(0)))
+
+    def test_ball_grows_with_hops(self):
+        sizes = [len(halo_ball(GRAPH, [0], h)) for h in range(4)]
+        assert sizes == sorted(sizes)
+
+    def test_directed_induced_subgraph(self):
+        from repro.graph import orient_by_degree
+
+        dag = orient_by_degree(GRAPH)
+        sub = induced_subgraph(dag, [0, 1, 2, 3, 4, 5])
+        assert sub.directed
+
+
+class TestPartitionedCounts:
+    @pytest.mark.parametrize("num_parts", [1, 2, 5, 16])
+    def test_triangles_partition_invariant(self, num_parts):
+        plan = compile_pattern(triangle())
+        expected = mine(GRAPH, plan).counts[0]
+        assert (
+            mine_partitioned(GRAPH, plan, num_parts).counts[0] == expected
+        )
+
+    @pytest.mark.parametrize(
+        "pattern,kwargs",
+        [
+            (k_clique(4), {}),
+            (four_cycle(), {}),
+            (diamond(), {"use_orientation": False}),
+            (four_cycle(), {"induced": True}),
+        ],
+        ids=lambda x: getattr(x, "name", str(x)),
+    )
+    def test_pattern_counts_match(self, pattern, kwargs):
+        plan = compile_pattern(pattern, **kwargs)
+        expected = mine(GRAPH, plan).counts[0]
+        assert mine_partitioned(GRAPH, plan, 4).counts[0] == expected
+
+    def test_stride_method_agrees(self):
+        plan = compile_pattern(k_clique(4))
+        expected = mine(GRAPH, plan).counts[0]
+        assert (
+            mine_partitioned(GRAPH, plan, 4, method="stride").counts[0]
+            == expected
+        )
+
+    def test_multiplan_rejected(self):
+        with pytest.raises(ReproError):
+            PartitionedMiner(GRAPH, compile_motifs(3), 4)
+
+
+class TestWorkingSet:
+    def test_halo_smaller_than_graph(self):
+        # The point of partitioning: each partition's working set is a
+        # fraction of the whole graph.
+        plan = compile_pattern(triangle())
+        miner = PartitionedMiner(GRAPH, plan, 16)
+        miner.run()
+        assert miner.max_working_set_edges() < GRAPH.num_edges
+        assert len(miner.stats) == 16
+
+    def test_stats_account_all_matches(self):
+        plan = compile_pattern(triangle())
+        miner = PartitionedMiner(GRAPH, plan, 8)
+        result = miner.run()
+        assert sum(s.matches for s in miner.stats) == result.counts[0]
+
+    def test_orientation_shrinks_halo(self):
+        # DAG halos only expand forward, so they are smaller than
+        # undirected ones for the same hop count.
+        oriented_plan = compile_pattern(triangle())
+        symmetric_plan = compile_pattern(triangle(), use_orientation=False)
+        a = PartitionedMiner(GRAPH, oriented_plan, 8)
+        b = PartitionedMiner(GRAPH, symmetric_plan, 8)
+        a.run()
+        b.run()
+        assert a.max_working_set_edges() <= b.max_working_set_edges()
+
+    def test_empty_partition_handled(self):
+        plan = compile_pattern(triangle())
+        tiny = erdos_renyi(5, 0.5, seed=1)
+        miner = PartitionedMiner(tiny, plan, 10)
+        result = miner.run()
+        assert result.counts[0] == mine(tiny, plan).counts[0]

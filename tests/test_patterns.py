@@ -1,0 +1,154 @@
+"""Tests for Pattern, the named library, and automorphisms."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import (
+    Pattern,
+    cycle,
+    diamond,
+    four_cycle,
+    from_name,
+    house,
+    k_clique,
+    path,
+    star,
+    tailed_triangle,
+    triangle,
+    wedge,
+)
+
+
+class TestPatternBasics:
+    def test_edges_canonicalized(self):
+        p = Pattern(3, [(1, 0), (0, 1), (2, 1)])
+        assert p.edges == ((0, 1), (1, 2))
+        assert p.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 2)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(0, [])
+
+    def test_neighbors_and_degree(self):
+        p = triangle()
+        assert p.neighbors(0) == frozenset({1, 2})
+        assert p.degree(0) == 2
+
+    def test_connectivity(self):
+        assert triangle().is_connected()
+        assert not Pattern(3, [(0, 1)]).is_connected()
+        assert Pattern(1, []).is_connected()
+
+    def test_is_clique(self):
+        assert k_clique(4).is_clique()
+        assert not diamond().is_clique()
+
+    def test_equality_is_label_equality(self):
+        assert triangle() == Pattern(3, [(0, 1), (1, 2), (0, 2)])
+        assert wedge() != Pattern(3, [(0, 1), (0, 2)])  # same shape, labels differ
+
+    def test_hashable(self):
+        assert len({triangle(), k_clique(3)}) == 1
+
+    def test_relabel(self):
+        # perm maps old label u to new label perm[u]: 0->2, 1->0, 2->1.
+        p = wedge().relabel([2, 0, 1])
+        assert p.edges == ((0, 1), (0, 2))
+
+    def test_relabel_requires_permutation(self):
+        with pytest.raises(PatternError):
+            wedge().relabel([0, 0, 1])
+
+    def test_induced_subpattern(self):
+        p = diamond().induced_subpattern([0, 1, 2])
+        assert p == triangle()
+
+    def test_networkx_round_trip(self):
+        p = house()
+        back = Pattern.from_networkx(p.to_networkx())
+        assert back.edges == p.edges
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            (triangle(), 6),
+            (k_clique(4), 24),
+            (four_cycle(), 8),
+            (diamond(), 4),
+            (tailed_triangle(), 2),
+            (wedge(), 2),
+            (path(4), 2),
+            (star(3), 6),
+            (cycle(5), 10),
+        ],
+    )
+    def test_group_sizes(self, pattern, expected):
+        autos = pattern.automorphisms()
+        assert len(autos) == expected
+
+    def test_identity_always_present(self):
+        for p in (triangle(), diamond(), house()):
+            assert tuple(range(p.num_vertices)) in p.automorphisms()
+
+    def test_automorphisms_preserve_edges(self):
+        p = four_cycle()
+        for perm in p.automorphisms():
+            for u, v in p.edges:
+                assert p.has_edge(perm[u], perm[v])
+
+    def test_automorphisms_form_group(self):
+        p = diamond()
+        autos = set(p.automorphisms())
+        for a in autos:
+            for b in autos:
+                composed = tuple(a[b[i]] for i in range(p.num_vertices))
+                assert composed in autos
+
+
+class TestLibrary:
+    def test_from_name_known(self):
+        assert from_name("triangle") == triangle()
+        assert from_name("diamond") == diamond()
+
+    def test_from_name_parses_cliques(self):
+        assert from_name("7-clique") == k_clique(7)
+
+    def test_from_name_unknown(self):
+        with pytest.raises(PatternError):
+            from_name("octopus")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PatternError):
+            k_clique(1)
+        with pytest.raises(PatternError):
+            path(1)
+        with pytest.raises(PatternError):
+            star(0)
+        with pytest.raises(PatternError):
+            cycle(2)
+
+    def test_shapes(self):
+        assert four_cycle().num_edges == 4
+        assert diamond().num_edges == 5
+        assert tailed_triangle().num_edges == 4
+        assert house().num_vertices == 5
+
+    def test_canonical_forms_distinguish_shapes(self):
+        assert four_cycle().canonical_form() != diamond().canonical_form()
+        assert (
+            four_cycle().canonical_form()
+            != tailed_triangle().canonical_form()
+        )
+        # Same shape, different labelling -> same canonical form.
+        shifted = four_cycle().relabel([1, 2, 3, 0])
+        assert shifted.canonical_form() == four_cycle().canonical_form()

@@ -1,0 +1,154 @@
+"""Hypothesis property tests on the hardware models.
+
+The hardware c-map is fuzzed against a dict reference with random bulk
+insert/remove sequences; the IR parser is fuzzed against the emitter
+across random patterns, labelings and options.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_pattern, emit_ir, parse_ir
+from repro.hw import HardwareCMap, SetAssocCache
+from repro.patterns import enumerate_motifs
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def insert_sequences(draw):
+    """A stack-shaped sequence of bulk inserts (id lists per level)."""
+    num_levels = draw(st.integers(min_value=1, max_value=6))
+    levels = []
+    for _ in range(num_levels):
+        ids = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=300),
+                min_size=0,
+                max_size=20,
+                unique=True,
+            )
+        )
+        levels.append(ids)
+    return levels
+
+
+class TestCMapAgainstReference:
+    @SETTINGS
+    @given(levels=insert_sequences(), exact=st.booleans())
+    def test_matches_dict_reference(self, levels, exact):
+        cmap = HardwareCMap(
+            1024, exact=exact, occupancy_threshold=1.0
+        )
+        reference = {}
+        accepted_depths = []
+        for depth, ids in enumerate(levels):
+            outcome = cmap.try_insert(ids, depth)
+            if outcome.accepted:
+                accepted_depths.append((depth, ids))
+                for key in ids:
+                    reference[key] = reference.get(key, 0) | (1 << depth)
+        for key in range(0, 300, 7):
+            assert cmap.query(key) == reference.get(key, 0)
+        # Stack unwind restores emptiness.
+        for depth, ids in reversed(accepted_depths):
+            cmap.remove_level(depth)
+        assert cmap.occupancy == 0
+
+    @SETTINGS
+    @given(levels=insert_sequences())
+    def test_occupancy_equals_distinct_keys(self, levels):
+        cmap = HardwareCMap(2048, occupancy_threshold=1.0)
+        distinct = set()
+        for depth, ids in enumerate(levels):
+            if cmap.try_insert(ids, depth).accepted:
+                distinct.update(ids)
+        assert cmap.occupancy == len(distinct)
+
+    @SETTINGS
+    @given(
+        ids=st.lists(
+            st.integers(min_value=0, max_value=10 ** 6),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_rejected_insert_leaves_no_trace(self, ids):
+        cmap = HardwareCMap(8, occupancy_threshold=0.5)
+        before = cmap.occupancy
+        outcome = cmap.try_insert(ids, 0)
+        if not outcome.accepted:
+            assert cmap.occupancy == before
+            for key in ids[:5]:
+                assert cmap.query(key) == 0
+
+
+class TestCacheProperties:
+    @SETTINGS
+    @given(
+        lines=st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_stats_conserved(self, lines):
+        cache = SetAssocCache(1024, 2, 64)
+        for line in lines:
+            cache.access_line(line)
+        stats = cache.stats
+        assert stats.hits + stats.misses == len(lines)
+        assert 0.0 <= stats.miss_rate <= 1.0
+        # Resident lines never exceed capacity.
+        resident = sum(len(ways) for ways in cache._sets)
+        assert resident <= cache.num_sets * cache.assoc
+
+    @SETTINGS
+    @given(
+        line=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_immediate_rehit(self, line):
+        cache = SetAssocCache(2048, 4, 64)
+        cache.access_line(line)
+        assert cache.access_line(line)
+
+
+class TestIrFuzz:
+    @SETTINGS
+    @given(
+        motif_index=st.integers(min_value=0, max_value=5),
+        induced=st.booleans(),
+        labels=st.one_of(
+            st.none(),
+            st.lists(
+                st.one_of(st.none(), st.integers(0, 3)),
+                min_size=4,
+                max_size=4,
+            ),
+        ),
+    )
+    def test_round_trip_random_patterns(self, motif_index, induced, labels):
+        pattern = enumerate_motifs(4)[motif_index]
+        if labels is not None:
+            pattern = pattern.with_labels(labels)
+        plan = compile_pattern(
+            pattern, induced=induced, use_orientation=False
+        )
+        assert parse_ir(emit_ir(plan)) == plan
+
+    @SETTINGS
+    @given(data=st.text(max_size=200))
+    def test_parser_never_crashes_unhandled(self, data):
+        from repro.errors import IRSyntaxError, CompileError
+
+        try:
+            parse_ir(data)
+        except (IRSyntaxError, CompileError):
+            pass  # rejection is the expected path for garbage

@@ -1,0 +1,89 @@
+"""Tests for empirical plan validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler import (
+    VertexStep,
+    compile_pattern,
+    parse_ir,
+    emit_ir,
+    validate_plan,
+)
+from repro.patterns import diamond, four_cycle, k_clique, triangle
+
+
+class TestValidPlans:
+    @pytest.mark.parametrize(
+        "pattern,kwargs",
+        [
+            (triangle(), {}),
+            (k_clique(4), {}),
+            (four_cycle(), {}),
+            (diamond(), {"use_orientation": False}),
+            (four_cycle(), {"induced": True}),
+        ],
+        ids=lambda x: getattr(x, "name", str(x)),
+    )
+    def test_compiler_output_validates(self, pattern, kwargs):
+        result = validate_plan(compile_pattern(pattern, **kwargs), trials=8)
+        assert result
+        assert "validated" in result.message()
+
+    def test_labeled_plan_validates(self):
+        plan = compile_pattern(triangle().with_labels([0, 0, 1]))
+        assert validate_plan(plan, trials=8)
+
+    def test_parsed_ir_validates(self):
+        plan = parse_ir(emit_ir(compile_pattern(four_cycle())))
+        assert validate_plan(plan, trials=6)
+
+
+class TestBrokenPlans:
+    def test_missing_symmetry_bound_breaks_uniqueness(self):
+        plan = compile_pattern(four_cycle())
+        broken_steps = tuple(
+            replace(s, upper_bounds=()) for s in plan.steps
+        )
+        broken = replace(
+            plan, steps=broken_steps, symmetry_conditions=()
+        )
+        result = validate_plan(broken, trials=20, seed=2)
+        assert not result
+        assert result.actual > result.expected  # duplicates found
+        assert "INVALID" in result.message()
+
+    def test_extra_bound_breaks_completeness(self):
+        plan = compile_pattern(diamond(), use_orientation=False)
+        # Bound an unconstrained step: drops legitimate matches.
+        target = plan.steps[1]
+        assert not target.upper_bounds
+        tightened = replace(target, upper_bounds=(0,))
+        broken = replace(
+            plan,
+            steps=(plan.steps[0], tightened) + plan.steps[2:],
+        )
+        result = validate_plan(broken, trials=20, seed=3)
+        assert not result
+        assert result.actual < result.expected
+
+    def test_wrong_connectivity_detected(self):
+        plan = compile_pattern(four_cycle())
+        last = plan.steps[-1]
+        assert last.connected  # drop the closing constraint
+        loosened = replace(last, connected=(), extra_connected=())
+        broken = replace(plan, steps=plan.steps[:-1] + (loosened,))
+        result = validate_plan(broken, trials=20, seed=4)
+        assert not result
+
+    def test_failure_reports_counterexample(self):
+        plan = compile_pattern(four_cycle())
+        broken = replace(
+            plan,
+            steps=tuple(replace(s, upper_bounds=()) for s in plan.steps),
+            symmetry_conditions=(),
+        )
+        result = validate_plan(broken, trials=20, seed=2)
+        assert result.failure_graph is not None
+        assert result.failure_graph.num_vertices <= 12

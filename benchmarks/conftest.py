@@ -17,7 +17,12 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 def harness():
     from repro.bench import get_harness
 
-    return get_harness()
+    h = get_harness()
+    yield h
+    # When REPRO_BENCH_TELEMETRY is set, roll the session's cells into
+    # the cross-PR diffable BENCH_summary.json.
+    if h.telemetry_dir:
+        h.write_summary()
 
 
 @pytest.fixture()

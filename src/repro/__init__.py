@@ -14,6 +14,7 @@ Public surface::
     repro.hw        FlexMiner cycle-level simulator
     repro.apps      TC, k-CL, SL, k-MC over any backend
     repro.bench     CPU models and the paper's tables/figures
+    repro.obs       tracing, metrics, run reports, debug logging
 """
 
 __version__ = "1.0.0"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import get_logger
 from .cpumodel import CpuModelConfig, cpu_time_seconds
 from .harness import (
     FIG13_CELLS,
@@ -19,6 +20,8 @@ from .harness import (
     Harness,
     restrict,
 )
+
+log = get_logger("bench.figures")
 
 __all__ = [
     "fig7_cpu_scaling",
@@ -87,6 +90,7 @@ def fig13_nocmap_speedups(
     for app, datasets in restrict(FIG13_CELLS).items():
         out[app] = {}
         for ds in datasets:
+            log.debug("fig13 cell %s/%s", app, ds)
             out[app][ds] = {
                 pes: harness.speedup(app, ds, num_pes=pes, cmap_bytes=0)
                 for pes in pe_sweep
@@ -108,6 +112,7 @@ def fig14_cmap_sizes(
     for app, datasets in restrict(FIG14_CELLS).items():
         out[app] = {}
         for ds in datasets:
+            log.debug("fig14 cell %s/%s", app, ds)
             base = harness.sim(app, ds, num_pes=num_pes, cmap_bytes=0)
             out[app][ds] = {}
             for size in sizes:
@@ -132,6 +137,7 @@ def fig15_pe_scaling(
     for app, datasets in restrict(FIG15_CELLS).items():
         out[app] = {}
         for ds in datasets:
+            log.debug("fig15 cell %s/%s", app, ds)
             base = harness.sim(
                 app, ds, num_pes=pe_sweep[0], cmap_bytes=cmap_bytes
             )
@@ -159,6 +165,7 @@ def fig16_traffic(
     for app, datasets in restrict(FIG16_CELLS).items():
         out[app] = {}
         for ds in datasets:
+            log.debug("fig16 cell %s/%s", app, ds)
             out[app][ds] = {}
             for size in sizes:
                 report = harness.sim(

@@ -6,7 +6,11 @@ each simulation once.  The per-figure dataset selections follow the
 paper's x-axes exactly (e.g. 5-CL only on As and Pa).
 
 Set the ``REPRO_BENCH_QUICK`` environment variable to restrict every
-sweep to its cheapest cells — useful while iterating.
+sweep to its cheapest cells — useful while iterating.  Set
+``REPRO_BENCH_TELEMETRY`` to a directory (or pass ``telemetry_dir``) to
+write one machine-readable report per simulated cell plus a
+``BENCH_summary.json`` roll-up, making the perf trajectory diffable
+across PRs with ``flexminer stats``.
 """
 
 from __future__ import annotations
@@ -18,8 +22,11 @@ from ..compiler import compile_motifs, compile_pattern
 from ..engine import MiningResult
 from ..graph import CSRGraph, load_dataset
 from ..hw import FlexMinerConfig, SimReport, simulate
+from ..obs import MetricsRegistry, get_logger, make_report, write_report
 from ..patterns import diamond, four_cycle, k_clique, triangle
 from .cpumodel import CpuModelConfig, graphzero_time
+
+log = get_logger("bench.harness")
 
 __all__ = [
     "APP_PLANS",
@@ -77,6 +84,7 @@ FIG16_CELLS: Dict[str, List[str]] = {
 }
 
 _QUICK_ENV = "REPRO_BENCH_QUICK"
+_TELEMETRY_ENV = "REPRO_BENCH_TELEMETRY"
 
 
 def quick_mode() -> bool:
@@ -91,10 +99,27 @@ def restrict(cells: Dict[str, List[str]]) -> Dict[str, List[str]]:
 
 
 class Harness:
-    """Memoizing runner over (app, dataset, hardware config) cells."""
+    """Memoizing runner over (app, dataset, hardware config) cells.
 
-    def __init__(self, cpu_config: Optional[CpuModelConfig] = None) -> None:
+    ``metrics`` counts runs vs cache hits and tracks cell-cycle
+    distributions; ``telemetry_dir`` (default: the
+    ``REPRO_BENCH_TELEMETRY`` environment variable) makes every fresh
+    simulation write a per-cell JSON report, with
+    :meth:`write_summary` producing the cross-PR ``BENCH_summary.json``.
+    """
+
+    def __init__(
+        self,
+        cpu_config: Optional[CpuModelConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        telemetry_dir: Optional[str] = None,
+    ) -> None:
         self.cpu_config = cpu_config or CpuModelConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if telemetry_dir is None:
+            telemetry_dir = os.environ.get(_TELEMETRY_ENV) or None
+        self.telemetry_dir = telemetry_dir
         self._plans: Dict[str, object] = {}
         self._sim_cache: Dict[Tuple, SimReport] = {}
         self._cpu_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
@@ -132,10 +157,85 @@ class Harness:
                 cmap_bytes=cmap_bytes,
                 task_split_degree=split,
             )
-            self._sim_cache[key] = simulate(
-                self.graph(dataset), self.plan(app), config
+            log.debug(
+                "sim cell %s/%s pes=%d cmap=%dB", app, dataset,
+                num_pes, cmap_bytes,
             )
+            self.metrics.counter("bench.sim_runs").inc()
+            report = simulate(self.graph(dataset), self.plan(app), config)
+            self.metrics.histogram("bench.sim_cycles").observe(report.cycles)
+            self._sim_cache[key] = report
+            if self.telemetry_dir:
+                self._write_cell(key, report)
+        else:
+            self.metrics.counter("bench.sim_cache_hits").inc()
         return self._sim_cache[key]
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cell_id(key: Tuple) -> str:
+        app, dataset, num_pes, cmap_bytes = key
+        return f"{app}_{dataset}_pes{num_pes}_cmap{cmap_bytes}"
+
+    def _write_cell(self, key: Tuple, report: SimReport) -> str:
+        app, dataset, num_pes, cmap_bytes = key
+        os.makedirs(self.telemetry_dir, exist_ok=True)
+        path = os.path.join(
+            self.telemetry_dir, f"sim_{self._cell_id(key)}.json"
+        )
+        write_report(path, make_report(
+            "sim",
+            report.as_dict(),
+            meta={
+                "app": app,
+                "dataset": dataset,
+                "num_pes": num_pes,
+                "cmap_bytes": cmap_bytes,
+            },
+        ))
+        log.debug("cell telemetry written to %s", path)
+        return path
+
+    def telemetry(self) -> Dict[str, object]:
+        """Machine-readable roll-up of every cached cell so far."""
+        sim_cells = {
+            self._cell_id(key): {
+                "cycles": report.cycles,
+                "seconds": report.seconds,
+                "counts": list(report.counts),
+                "noc_requests": report.noc_requests,
+                "dram_accesses": report.dram_accesses,
+                "memory_bound_fraction": report.memory_bound_fraction,
+                "load_imbalance": report.load_imbalance,
+            }
+            for key, report in self._sim_cache.items()
+        }
+        cpu_cells = {
+            f"{app}_{dataset}_t{threads}": {
+                "seconds": seconds,
+                "counts": list(result.counts),
+            }
+            for (app, dataset, threads), (seconds, result)
+            in self._cpu_cache.items()
+        }
+        return {
+            "quick_mode": quick_mode(),
+            "sim": sim_cells,
+            "cpu": cpu_cells,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def write_summary(self, path: Optional[str] = None) -> str:
+        """Write ``BENCH_summary.json`` (the cross-PR diffable artifact)."""
+        if path is None:
+            base = self.telemetry_dir or "."
+            os.makedirs(base, exist_ok=True)
+            path = os.path.join(base, "BENCH_summary.json")
+        write_report(path, make_report("bench-summary", self.telemetry()))
+        log.info("bench summary written to %s", path)
+        return path
 
     def cpu(
         self, app: str, dataset: str, *, threads: int = 20
@@ -143,6 +243,8 @@ class Harness:
         """GraphZero-model CPU run for one cell (memoized)."""
         key = (app, dataset, threads)
         if key not in self._cpu_cache:
+            log.debug("cpu cell %s/%s threads=%d", app, dataset, threads)
+            self.metrics.counter("bench.cpu_runs").inc()
             self._cpu_cache[key] = graphzero_time(
                 self.graph(dataset),
                 self.plan(app),

@@ -5,6 +5,8 @@ Examples::
     flexminer compile 4-cycle                 # print the execution-plan IR
     flexminer mine triangle --dataset Mi      # software mining
     flexminer sim diamond --dataset As --pes 20 --cmap-kb 8
+    flexminer sim triangle --dataset Mi --trace t.json --emit-json
+    flexminer stats old.json new.json         # diff two run reports
     flexminer motifs 3 --dataset As
     flexminer datasets                        # Table I for the suite
 """
@@ -12,6 +14,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -21,6 +24,15 @@ from .compiler import compile_motifs, compile_pattern, emit_ir, emit_multi_ir
 from .engine import PatternAwareEngine, mine_multi
 from .graph import CSRGraph, load_dataset, load_graph
 from .hw import FlexMinerConfig, simulate
+from .obs import (
+    NULL_TRACER,
+    Tracer,
+    diff_reports,
+    load_report,
+    make_report,
+    render_diff,
+    render_report,
+)
 from .patterns import from_name
 
 __all__ = ["main", "build_parser"]
@@ -53,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dataset", default="As", help="suite name (Table I)")
         p.add_argument("--graph", help="edge-list/.mtx file instead")
         p.add_argument("--induced", action="store_true")
+        p.add_argument(
+            "--trace", metavar="FILE",
+            help="write a Chrome trace-event JSON (Perfetto-compatible)",
+        )
+        p.add_argument(
+            "--emit-json", action="store_true",
+            help="print a machine-readable run report instead of text",
+        )
         if name == "sim":
             p.add_argument("--pes", type=int, default=64)
             p.add_argument("--cmap-kb", type=int, default=8)
@@ -63,6 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
     motifs_p.add_argument("--graph")
 
     sub.add_parser("datasets", help="print Table I for the suite")
+
+    stats_p = sub.add_parser(
+        "stats", help="pretty-print one run report or diff two"
+    )
+    stats_p.add_argument("report", help="run-report JSON file")
+    stats_p.add_argument(
+        "baseline_or_new", nargs="?", default=None, metavar="other",
+        help="second report: diffs REPORT -> OTHER",
+    )
+    stats_p.add_argument(
+        "--all", action="store_true",
+        help="when diffing, show unchanged keys too",
+    )
 
     validate_p = sub.add_parser(
         "validate", help="empirically validate an IR plan file"
@@ -94,6 +127,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "datasets":
         print(render_table1())
+        return 0
+
+    if args.command == "stats":
+        report = load_report(args.report)
+        if args.baseline_or_new is None:
+            print(render_report(report))
+        else:
+            rows = diff_reports(report, load_report(args.baseline_or_new))
+            print(render_diff(rows, all_rows=args.all))
         return 0
 
     if args.command == "compile":
@@ -137,23 +179,54 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{pattern.name:<16s}{count:>12d}")
         return 0
 
-    graph = _load(args)
-    plan = compile_pattern(from_name(args.pattern), induced=args.induced)
+    tracer = Tracer() if getattr(args, "trace", None) else NULL_TRACER
+    with tracer.span("load-graph", cat="phase"):
+        graph = _load(args)
+    with tracer.span("compile", cat="phase", pattern=args.pattern):
+        plan = compile_pattern(from_name(args.pattern), induced=args.induced)
+    run_meta = {
+        "command": args.command,
+        "pattern": args.pattern,
+        "dataset": None if args.graph else args.dataset,
+        "graph_file": args.graph,
+        "induced": args.induced,
+        "version": __version__,
+    }
 
     if args.command == "mine":
-        result = PatternAwareEngine(graph, plan).run()
+        result = PatternAwareEngine(graph, plan, tracer=tracer).run()
         seconds = cpu_time_seconds(result.counters)
-        print(f"matches: {result.counts[0]}")
-        print(f"CPU-20T model: {seconds * 1e3:.3f} ms")
-        print(f"set-op iterations: {result.counters.setop_iterations}")
+        if args.trace:
+            tracer.write(args.trace)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if args.emit_json:
+            payload = dict(result.as_dict(), model_seconds=seconds)
+            print(json.dumps(
+                make_report("mine", payload, meta=run_meta),
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(f"matches: {result.counts[0]}")
+            print(f"CPU-20T model: {seconds * 1e3:.3f} ms")
+            print(f"set-op iterations: {result.counters.setop_iterations}")
         return 0
 
     if args.command == "sim":
         config = FlexMinerConfig(
             num_pes=args.pes, cmap_bytes=args.cmap_kb * 1024
         )
-        report = simulate(graph, plan, config)
-        print(report.summary())
+        run_meta.update(num_pes=args.pes, cmap_bytes=args.cmap_kb * 1024)
+        report = simulate(graph, plan, config, tracer=tracer)
+        if args.trace:
+            tracer.write(args.trace)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if args.emit_json:
+            print(json.dumps(
+                make_report("sim", report.as_dict(), meta=run_meta),
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(report.summary())
         return 0
 
     return 1  # pragma: no cover - argparse enforces commands

@@ -93,9 +93,13 @@ class CMapSoftwareEngine(PatternAwareEngine):
         *,
         collect: bool = False,
         use_frontier_memo: bool = True,
+        tracer=None,
+        metrics=None,
     ) -> None:
         super().__init__(
-            graph, plan, collect=collect, use_frontier_memo=use_frontier_memo
+            graph, plan, collect=collect,
+            use_frontier_memo=use_frontier_memo,
+            tracer=tracer, metrics=metrics,
         )
         self.cmap = VectorCMap(graph.num_vertices)
         if isinstance(plan.cmap_insert_depths, tuple):
@@ -105,6 +109,20 @@ class CMapSoftwareEngine(PatternAwareEngine):
         self._insert_filter = getattr(plan, "cmap_insert_filter", {})
         # Stack of (depth, inserted ids) for backtrack cleanup.
         self._inserted: List[np.ndarray] = []
+
+    def run(self, roots=None):
+        """Mine, then publish vector-c-map traffic to the metrics registry
+        (the §VII-C read-ratio series) alongside the inherited counters."""
+        result = super().run(roots)
+        self.metrics.absorb(
+            {
+                "reads": self.cmap.reads,
+                "writes": self.cmap.writes,
+                "read_ratio": self.cmap.read_ratio,
+            },
+            prefix="engine.cmap.",
+        )
+        return result
 
     # ------------------------------------------------------------------
     # c-map maintenance on DFS moves (Fig. 12)

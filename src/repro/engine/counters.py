@@ -46,6 +46,28 @@ class OpCounters:
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    def __iadd__(self, other: "OpCounters") -> "OpCounters":
+        """``counters += engine.counters`` — field-wise accumulation."""
+        self.merge(other)
+        return self
+
+    def diff(self, baseline: "OpCounters") -> "OpCounters":
+        """Field-wise delta of this snapshot against ``baseline``.
+
+        Engines and the metrics registry delta-compare snapshots with
+        ``after.diff(before).as_dict()`` instead of hand-written loops.
+        """
+        out = OpCounters()
+        for name in self.__dataclass_fields__:
+            setattr(out, name, getattr(self, name) - getattr(baseline, name))
+        return out
+
+    def copy(self) -> "OpCounters":
+        """Independent snapshot (the operand ``diff`` compares against)."""
+        out = OpCounters()
+        out.merge(self)
+        return out
+
     def as_dict(self) -> Dict[str, int]:
         return {
             name: getattr(self, name) for name in self.__dataclass_fields__

@@ -15,6 +15,7 @@ software"); tests assert both produce identical match counts.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -22,6 +23,7 @@ import numpy as np
 
 from ..compiler.plan import ExecutionPlan, MultiPlan, PlanNode, VertexStep
 from ..graph import CSRGraph, orient_by_degree
+from ..obs import NULL_REGISTRY, NULL_TRACER
 from .counters import OpCounters
 from .setops import bound_below, difference, intersect, remove_values
 
@@ -51,6 +53,17 @@ class MiningResult:
     def total(self) -> int:
         return sum(self.counts)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able payload (embeddings omitted; they can be huge)."""
+        return {
+            "counts": list(self.counts),
+            "total": self.total,
+            "counters": self.counters.as_dict(),
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
 
 class PatternAwareEngine:
     """Execute an execution plan over a data graph.
@@ -68,6 +81,13 @@ class PatternAwareEngine:
         Honor the plan's frontier-memoization hints.  Disabled for the
         ablation bench; the paper keeps it always on "for a fair
         comparison with GraphZero".
+    tracer:
+        Optional :class:`repro.obs.Tracer`; ``run()`` wraps the mining
+        phase in a wall-clock span.  Defaults to the no-op tracer.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; ``run()`` publishes
+        the final op-counter state under ``engine.*`` gauges.  Defaults
+        to the no-op registry.
     """
 
     def __init__(
@@ -78,11 +98,15 @@ class PatternAwareEngine:
         collect: bool = False,
         use_frontier_memo: bool = True,
         work_graph: Optional[CSRGraph] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.graph = graph
         self.plan = plan
         self.collect = collect
         self.use_frontier_memo = use_frontier_memo
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.counters = OpCounters()
         self._multi = isinstance(plan, MultiPlan)
         oriented = (not self._multi) and plan.oriented
@@ -128,14 +152,19 @@ class PatternAwareEngine:
         if roots is None:
             roots = self._work_graph.vertices()
         root_label = None if self._multi else self.plan.root_label
-        for v0 in roots:
-            if (
-                root_label is not None
-                and int(self._labels[int(v0)]) != root_label
-            ):
-                continue
-            self.run_task(int(v0))
+        with self.tracer.span(
+            "mine", cat="phase", engine=type(self).__name__,
+            patterns=self._num_patterns,
+        ):
+            for v0 in roots:
+                if (
+                    root_label is not None
+                    and int(self._labels[int(v0)]) != root_label
+                ):
+                    continue
+                self.run_task(int(v0))
         self.counters.matches = sum(self._counts)
+        self.metrics.absorb(self.counters.as_dict(), prefix="engine.")
         return MiningResult(
             counts=tuple(self._counts),
             counters=self.counters,

@@ -20,11 +20,15 @@ simulation is ~6 orders slower than the authors' C++ simulator.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List
 
+from ..obs.log import get_logger
 from .csr import CSRGraph
 from .generators import power_law_cluster, rmat
 from .stats import GraphStats, graph_stats
+
+log = get_logger("graph.datasets")
 
 __all__ = [
     "DATASET_NAMES",
@@ -70,7 +74,13 @@ def load_dataset(name: str) -> CSRGraph:
         raise KeyError(
             f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
         )
+    started = time.perf_counter()
     graph = builders[name]()
+    log.debug(
+        "built dataset %s: %d vertices, %d edges in %.2fs",
+        name, graph.num_vertices, graph.num_edges,
+        time.perf_counter() - started,
+    )
     _CACHE[name] = graph
     return graph
 

@@ -14,6 +14,8 @@ from typing import Iterable, Optional
 from ..compiler.plan import ExecutionPlan, MultiPlan
 from ..errors import SimulationError
 from ..graph import CSRGraph, orient_by_degree
+from ..obs import NULL_REGISTRY, NULL_TRACER
+from ..obs.trace import SIM_PID
 from .config import FlexMinerConfig
 from .mem import MemorySystem
 from .pe import ProcessingElement
@@ -24,19 +26,32 @@ __all__ = ["FlexMinerAccelerator", "simulate"]
 
 
 class FlexMinerAccelerator:
-    """A configured FlexMiner instance bound to one graph and plan."""
+    """A configured FlexMiner instance bound to one graph and plan.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the simulation in
+    Chrome trace-event form: one trace thread per PE with task/stall/
+    set-op/c-map intervals in the cycle domain, plus sampled NoC/DRAM/L2
+    counter tracks.  ``metrics`` (a :class:`repro.obs.MetricsRegistry`)
+    receives the final report under ``sim.*`` gauges.  Both default to
+    no-ops; enabling them never changes counts, cycles or counters.
+    """
 
     def __init__(
         self,
         graph: CSRGraph,
         plan,
         config: Optional[FlexMinerConfig] = None,
+        *,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if not isinstance(plan, (ExecutionPlan, MultiPlan)):
             raise SimulationError("plan must be an ExecutionPlan or MultiPlan")
         self.graph = graph
         self.plan = plan
         self.config = config or FlexMinerConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         oriented = isinstance(plan, ExecutionPlan) and plan.oriented
         self._work_graph = orient_by_degree(graph) if oriented else graph
         self.memsys = MemorySystem(self.config, graph)
@@ -48,10 +63,23 @@ class FlexMinerAccelerator:
                 self.config,
                 self.memsys,
                 work_graph=self._work_graph,
+                tracer=self.tracer,
             )
             for i in range(self.config.num_pes)
         ]
         self.scheduler = Scheduler(self.pes)
+        if self.tracer.enabled:
+            self.memsys.attach_tracer(self.tracer)
+            self.tracer.process_name(
+                "FlexMiner accelerator (ts = PE cycles)", pid=SIM_PID
+            )
+            for pe in self.pes:
+                self.tracer.thread_name(
+                    f"PE {pe.pe_id}", pid=SIM_PID, tid=pe.pe_id
+                )
+            self.tracer.thread_name(
+                "scheduler", pid=SIM_PID, tid=self.config.num_pes
+            )
 
     def run(self, roots: Optional[Iterable[int]] = None) -> SimReport:
         """Simulate mining the whole graph (or the given roots)."""
@@ -70,8 +98,17 @@ class FlexMinerAccelerator:
         tasks = Scheduler.order_tasks(
             self._work_graph, roots, split_degree=split
         )
-        makespan = self.scheduler.run(tasks)
-        return self._report(makespan)
+        with self.tracer.span("simulate", cat="phase"):
+            makespan = self.scheduler.run(tasks)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "run", 0.0, makespan,
+                pid=SIM_PID, tid=self.config.num_pes, cat="phase",
+                args={"tasks": self.scheduler.tasks_dispatched},
+            )
+        report = self._report(makespan)
+        self.metrics.absorb(report.as_dict(), prefix="sim.")
+        return report
 
     # ------------------------------------------------------------------
     def _report(self, makespan: float) -> SimReport:
@@ -144,6 +181,15 @@ def simulate(
     config: Optional[FlexMinerConfig] = None,
     *,
     roots: Optional[Iterable[int]] = None,
+    tracer=None,
+    metrics=None,
 ) -> SimReport:
-    """Build an accelerator and run one simulation."""
-    return FlexMinerAccelerator(graph, plan, config).run(roots)
+    """Build an accelerator and run one simulation.
+
+    ``tracer``/``metrics`` are optional observability sinks (see
+    :class:`FlexMinerAccelerator`); they never affect simulated results.
+    """
+    accel = FlexMinerAccelerator(
+        graph, plan, config, tracer=tracer, metrics=metrics
+    )
+    return accel.run(roots)

@@ -33,6 +33,19 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat export for run reports and counter-track samples."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class SetAssocCache:
     """A set-associative cache with true-LRU replacement.

@@ -64,6 +64,18 @@ class CMapStats:
     def total_cycles(self) -> int:
         return self.insert_cycles + self.query_cycles + self.delete_cycles
 
+    def as_dict(self) -> Dict[str, float]:
+        """Flat export for run reports and the metrics registry."""
+        return {
+            "inserts": self.inserts,
+            "updates": self.updates,
+            "queries": self.queries,
+            "deletes": self.deletes,
+            "overflows": self.overflows,
+            "total_cycles": self.total_cycles,
+            "read_ratio": self.read_ratio,
+        }
+
 
 @dataclass(frozen=True)
 class InsertOutcome:
@@ -98,8 +110,45 @@ class HardwareCMap:
         self._table: Dict[int, int] = {}
         # Per-depth stack of (depth, ids actually written) for cleanup.
         self._level_stack: List[Tuple[int, np.ndarray]] = []
+        # Observability: set by attach_tracer; None means no emission.
+        self._trace = None
+        self._clock = None
+        self._trace_tid = 0
         if exact:
             self._slots = np.full(capacity_entries, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer, *, clock, tid: int = 0) -> None:
+        """Emit cycle-domain instants for rare c-map incidents.
+
+        ``clock`` supplies the owning PE's local time (the c-map itself
+        is timeless); overflows and capacity rejections become ``instant``
+        events on the PE's trace thread.
+        """
+        self._trace = tracer if tracer is not None and tracer.enabled else None
+        self._clock = clock
+        self._trace_tid = tid
+
+    def _trace_overflow(self, depth: int, incoming: int) -> None:
+        if self._trace is None:
+            return
+        from ..obs.trace import SIM_PID
+
+        self._trace.instant(
+            "cmap-overflow",
+            self._clock(),
+            pid=SIM_PID,
+            tid=self._trace_tid,
+            cat="cmap",
+            args={
+                "depth": depth,
+                "incoming": incoming,
+                "occupancy": self.occupancy,
+                "capacity": self.capacity,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Occupancy / footprint estimation (§VI-B)
@@ -147,10 +196,12 @@ class HardwareCMap:
             # Beyond the value width the c-map simply cannot represent
             # the level (paper §VII-D); treat like an overflow.
             self.stats.overflows += 1
+            self._trace_overflow(depth, len(ids))
             return InsertOutcome(accepted=False, cycles=1)
         ids = np.asarray(ids, dtype=np.int64)
         if not self.fits(len(ids)):
             self.stats.overflows += 1
+            self._trace_overflow(depth, len(ids))
             return InsertOutcome(accepted=False, cycles=1)
 
         cycles = 0

@@ -34,6 +34,17 @@ class DramStats:
     def row_hit_rate(self) -> float:
         return self.row_hits / self.accesses if self.accesses else 0.0
 
+    def as_dict(self) -> dict:
+        """Flat export for run reports and counter-track samples."""
+        return {
+            "accesses": self.accesses,
+            "row_hits": self.row_hits,
+            "row_conflicts": self.row_conflicts,
+            "row_hit_rate": self.row_hit_rate,
+            "queue_cycles": self.queue_cycles,
+            "busy_cycles": self.busy_cycles,
+        }
+
 
 class DramModel:
     """Per-channel, per-bank DDR4 timing at PE clock granularity."""
@@ -57,6 +68,15 @@ class DramModel:
         # of (non-decreasing) observed time.
         self._backlog = np.zeros(dram.num_channels, dtype=np.float64)
         self._last_seen = np.zeros(dram.num_channels, dtype=np.float64)
+        # Observability: sampled counter-track emission (attach_tracer).
+        self._trace = None
+        self._sample_every = 0
+
+    def attach_tracer(self, tracer, *, every: int = 64) -> None:
+        """Emit a cycle-domain ``dram`` counter sample every ``every``-th
+        access; queueing shows bandwidth saturation over time."""
+        self._trace = tracer if tracer is not None and tracer.enabled else None
+        self._sample_every = max(1, every)
 
     # ------------------------------------------------------------------
     def _map(self, line: int) -> tuple:
@@ -99,6 +119,23 @@ class DramModel:
 
         self.stats.queue_cycles += queue_delay
         self.stats.busy_cycles += self.t_burst
+
+        if (
+            self._trace is not None
+            and self.stats.accesses % self._sample_every == 0
+        ):
+            from ..obs.trace import SIM_PID
+
+            self._trace.counter(
+                "dram",
+                now,
+                {
+                    "accesses": self.stats.accesses,
+                    "row_hit_rate": self.stats.row_hit_rate,
+                    "backlog": float(self._backlog[channel]),
+                },
+                pid=SIM_PID,
+            )
         return queue_delay + array_latency + self.t_burst
 
     # ------------------------------------------------------------------

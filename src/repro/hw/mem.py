@@ -73,6 +73,20 @@ class MemorySystem:
         )
         self.dram = DramModel(config)
         self.noc = NocModel(config)
+        # Observability: sampled L2 counter track (attach_tracer).
+        self._trace = None
+        self._sample_every = 0
+
+    def attach_tracer(self, tracer, *, every: int = 64) -> None:
+        """Wire the shared memory system into a cycle-domain tracer.
+
+        Forwards to the NoC and DRAM models and emits an ``l2`` counter
+        sample every ``every``-th miss batch.
+        """
+        self._trace = tracer if tracer is not None and tracer.enabled else None
+        self._sample_every = max(1, every)
+        self.noc.attach_tracer(tracer, every=every)
+        self.dram.attach_tracer(tracer, every=every)
 
     def fetch_lines(
         self, pe_id: int, lines: List[int], now: float
@@ -97,4 +111,20 @@ class MemorySystem:
             if not hit and not GraphLayout.is_frontier(addr):
                 latency += self.dram.access(line, issue + latency)
             finish = max(finish, issue + latency)
+        if (
+            self._trace is not None
+            and self.l2.stats.accesses % self._sample_every == 0
+        ):
+            from ..obs.trace import SIM_PID
+
+            self._trace.counter(
+                "l2",
+                now,
+                {
+                    "hits": self.l2.stats.hits,
+                    "misses": self.l2.stats.misses,
+                    "hit_rate": self.l2.stats.hit_rate,
+                },
+                pid=SIM_PID,
+            )
         return finish - now

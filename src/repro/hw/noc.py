@@ -35,6 +35,15 @@ class NocStats:
     def avg_queue_cycles(self) -> float:
         return self.queue_cycles / self.requests if self.requests else 0.0
 
+    def as_dict(self) -> Dict[str, float]:
+        """Flat export for run reports and counter-track samples."""
+        return {
+            "requests": self.requests,
+            "response_bytes": self.response_bytes,
+            "queue_cycles": self.queue_cycles,
+            "avg_queue_cycles": self.avg_queue_cycles,
+        }
+
 
 class NocModel:
     """Mesh NoC latency/traffic/contention model."""
@@ -48,11 +57,20 @@ class NocModel:
         self.stats = NocStats()
         self._backlog = 0.0
         self._last_seen = 0.0
+        # Observability: sampled counter-track emission (attach_tracer).
+        self._trace = None
+        self._sample_every = 0
 
     @property
     def ejection_ports(self) -> int:
         """Requests the L2 side can accept per cycle (bank slices)."""
         return self.config.noc.l2_ejection_ports
+
+    def attach_tracer(self, tracer, *, every: int = 64) -> None:
+        """Emit a cycle-domain ``noc`` counter sample every ``every``-th
+        request (full per-event tracing would swamp the file)."""
+        self._trace = tracer if tracer is not None and tracer.enabled else None
+        self._sample_every = max(1, every)
 
     def request_latency(
         self, pe_id: int, payload_bytes: int, now: float = 0.0
@@ -71,6 +89,23 @@ class NocModel:
         queue_delay = self._backlog
         self._backlog += 1.0 / self.ejection_ports
         self.stats.queue_cycles += queue_delay
+
+        if (
+            self._trace is not None
+            and self.stats.requests % self._sample_every == 0
+        ):
+            from ..obs.trace import SIM_PID
+
+            self._trace.counter(
+                "noc",
+                now,
+                {
+                    "requests": self.stats.requests,
+                    "backlog": self._backlog,
+                    "queue_cycles": self.stats.queue_cycles,
+                },
+                pid=SIM_PID,
+            )
 
         flits = max(
             1,

@@ -31,6 +31,7 @@ from ..compiler.plan import VertexStep
 from ..engine.explore import PatternAwareEngine
 from ..engine.setops import bound_below, difference, intersect, merge_iterations
 from ..graph import CSRGraph
+from ..obs.trace import SIM_PID
 from .cache import SetAssocCache
 from .cmap import HardwareCMap
 from .config import FlexMinerConfig
@@ -58,6 +59,14 @@ class PEStats:
     def total_cycles(self) -> float:
         return self.busy_cycles + self.stall_cycles
 
+    def as_dict(self) -> Dict[str, float]:
+        """Flat export for run reports and the metrics registry."""
+        out = {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+        out["total_cycles"] = self.total_cycles
+        return out
+
 
 class ProcessingElement(PatternAwareEngine):
     """One FlexMiner PE: the functional engine plus cycle accounting."""
@@ -71,6 +80,7 @@ class ProcessingElement(PatternAwareEngine):
         memsys: MemorySystem,
         *,
         work_graph: Optional[CSRGraph] = None,
+        tracer=None,
     ) -> None:
         super().__init__(graph, plan, collect=False, work_graph=work_graph)
         self.pe_id = pe_id
@@ -79,12 +89,21 @@ class ProcessingElement(PatternAwareEngine):
         self.time = 0.0
         self._overlap_credit = 0.0
         self.stats = PEStats()
+        # Cycle-domain tracer: None when tracing is off, so hot paths pay
+        # one identity check.  Timing/counters are never affected.
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
         self.private = SetAssocCache(
             config.private_cache_bytes,
             config.private_cache_assoc,
             config.line_bytes,
         )
         self.cmap: Optional[HardwareCMap] = HardwareCMap.from_config(config)
+        if self._trace is not None and self.cmap is not None:
+            self.cmap.attach_tracer(
+                self._trace, clock=lambda: self.time, tid=pe_id
+            )
         self._insert_depths = set(plan.cmap_insert_depths)
         self._insert_filter = getattr(plan, "cmap_insert_filter", {})
         self._covered: Dict[int, bool] = {}
@@ -111,12 +130,21 @@ class ProcessingElement(PatternAwareEngine):
         candidates (fine-grained task splitting; see the scheduler).
         """
         self.time = max(self.time, dispatch_time)
+        start = self.time
         self._charge_busy(self.config.dispatch_cycles)
         if self.cmap is not None:
             self.cmap.reset()
         self._covered.clear()
         self.stats.tasks += 1
         self.run_task(v0, chunk=chunk)
+        if self._trace is not None:
+            args = {"root": int(v0)}
+            if chunk is not None:
+                args["chunk"] = list(chunk)
+            self._trace.complete(
+                f"task v{int(v0)}", start, self.time - start,
+                pid=SIM_PID, tid=self.pe_id, cat="task", args=args,
+            )
 
     @property
     def counts(self) -> List[int]:
@@ -150,6 +178,12 @@ class ProcessingElement(PatternAwareEngine):
             self._overlap_credit = 0.0
             self.time += stall
             self.stats.stall_cycles += stall
+            if self._trace is not None and stall > 0:
+                self._trace.complete(
+                    "stall", self.time - stall, stall,
+                    pid=SIM_PID, tid=self.pe_id, cat="mem",
+                    args={"lines": len(missed)},
+                )
 
     def _write_frontier(self, length: int, depth: int) -> None:
         """Store a memoized candidate list in the spill region."""
@@ -201,6 +235,12 @@ class ProcessingElement(PatternAwareEngine):
                 self._charge_busy(cycles)
                 self.stats.cmap_cycles += cycles
                 self.stats.cmap_resolved_checks += len(checks)
+                if self._trace is not None and cycles > 0:
+                    self._trace.complete(
+                        "cmap-query", self.time - cycles, cycles,
+                        pid=SIM_PID, tid=self.pe_id, cat="cmap",
+                        args={"candidates": len(cands)},
+                    )
                 # Values come from the verified functional computation.
                 for d in conn:
                     cands = intersect(
@@ -219,12 +259,14 @@ class ProcessingElement(PatternAwareEngine):
                     cycles = merge_iterations(len(cands), len(other))
                     self._charge_busy(cycles)
                     self.stats.setop_cycles += cycles
+                    self._trace_setop("siu", cycles)
                     cands = intersect(cands, other, self.counters)
                 for d in disc:
                     other = self._load_adjacency_timed(emb[d])
                     cycles = merge_iterations(len(cands), len(other))
                     self._charge_busy(cycles)
                     self.stats.setop_cycles += cycles
+                    self._trace_setop("sdu", cycles)
                     cands = difference(cands, other, self.counters)
 
         # Pruner scan: one candidate per cycle for bound + injectivity.
@@ -235,6 +277,15 @@ class ProcessingElement(PatternAwareEngine):
         if step.memoize_frontier:
             self._write_frontier(len(cands), step.depth)
         return cands
+
+    def _trace_setop(self, unit: str, cycles: float) -> None:
+        """Record one SIU/SDU merge interval ending at the current time."""
+        if self._trace is not None and cycles > 0:
+            self._trace.complete(
+                unit, self.time - cycles, cycles,
+                pid=SIM_PID, tid=self.pe_id, cat="setop",
+                args={"iterations": cycles},
+            )
 
     def _cmap_ready(self, checks: Tuple[int, ...]) -> bool:
         """Can every check be answered from the c-map right now?"""
@@ -257,6 +308,12 @@ class ProcessingElement(PatternAwareEngine):
         outcome = self.cmap.try_insert(neighbors, depth)
         self._charge_busy(outcome.cycles)
         self.stats.cmap_cycles += outcome.cycles
+        if self._trace is not None and outcome.accepted and outcome.cycles > 0:
+            self._trace.complete(
+                "cmap-insert", self.time - outcome.cycles, outcome.cycles,
+                pid=SIM_PID, tid=self.pe_id, cat="cmap",
+                args={"depth": depth, "entries": len(neighbors)},
+            )
         if outcome.accepted:
             layout = self.memsys.layout
             start = int(self._work_graph.indptr[emb[depth]])

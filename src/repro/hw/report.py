@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = ["SimReport"]
+
+
+def _ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Safe ratio: every derived rate treats an empty denominator the
+    same way instead of each property hand-rolling its own guard."""
+    return numerator / denominator if denominator else default
 
 
 @dataclass
@@ -48,19 +55,34 @@ class SimReport:
 
     @property
     def l2_miss_rate(self) -> float:
-        accesses = self.l2_hits + self.l2_misses
-        return self.l2_misses / accesses if accesses else 0.0
+        return _ratio(self.l2_misses, self.l2_hits + self.l2_misses)
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return _ratio(self.l2_hits, self.l2_hits + self.l2_misses)
+
+    @property
+    def private_hit_rate(self) -> float:
+        return _ratio(
+            self.private_hits, self.private_hits + self.private_misses
+        )
+
+    @property
+    def private_miss_rate(self) -> float:
+        return _ratio(
+            self.private_misses, self.private_hits + self.private_misses
+        )
 
     @property
     def cmap_read_ratio(self) -> float:
-        total = self.cmap_reads + self.cmap_writes
-        return self.cmap_reads / total if total else 0.0
+        return _ratio(self.cmap_reads, self.cmap_reads + self.cmap_writes)
 
     @property
     def memory_bound_fraction(self) -> float:
         """Share of aggregate PE time spent stalled on memory."""
-        total = self.busy_cycles + self.stall_cycles
-        return self.stall_cycles / total if total else 0.0
+        return _ratio(
+            self.stall_cycles, self.busy_cycles + self.stall_cycles
+        )
 
     @property
     def load_imbalance(self) -> float:
@@ -68,10 +90,53 @@ class SimReport:
         if not self.per_pe_cycles:
             return 1.0
         mean = sum(self.per_pe_cycles) / len(self.per_pe_cycles)
-        return max(self.per_pe_cycles) / mean if mean else 1.0
+        return _ratio(max(self.per_pe_cycles), mean, default=1.0)
 
     def speedup_over(self, baseline_seconds: float) -> float:
-        return baseline_seconds / self.seconds if self.seconds else 0.0
+        return _ratio(baseline_seconds, self.seconds)
+
+    #: Derived properties included in the machine-readable export.
+    DERIVED = (
+        "total",
+        "l2_miss_rate",
+        "l2_hit_rate",
+        "private_hit_rate",
+        "private_miss_rate",
+        "cmap_read_ratio",
+        "memory_bound_fraction",
+        "load_imbalance",
+    )
+
+    # ------------------------------------------------------------------
+    # Machine-readable export (repro.obs run-report payload)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able payload: every field plus the derived rates."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            out[f.name] = value
+        out["derived"] = {name: getattr(self, name) for name in self.DERIVED}
+        return out
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimReport":
+        """Rebuild a report from :meth:`as_dict` output (``derived`` is
+        recomputed, not trusted)."""
+        kwargs = {
+            f.name: data[f.name] for f in fields(cls) if f.name in data
+        }
+        kwargs["counts"] = tuple(kwargs["counts"])
+        return cls(**kwargs)
 
     def summary(self) -> str:
         lines = [

@@ -1,0 +1,74 @@
+"""Debug log channel: stdlib ``logging`` under the ``repro.*`` namespace.
+
+Library code stays silent by default (records propagate to the root
+logger at WARNING, the stdlib default).  Setting the ``REPRO_LOG``
+environment variable — e.g. ``REPRO_LOG=debug`` — attaches a stderr
+handler to the ``repro`` logger with a compact format and the requested
+level, turning on the progress/diagnostic channel for dataset builds,
+bench sweeps, telemetry writes and the like without touching any call
+site.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional, Union
+
+__all__ = ["ENV_VAR", "configure", "get_logger"]
+
+#: Environment variable naming the desired level (debug/info/warning/...).
+ENV_VAR = "REPRO_LOG"
+
+_configured = False
+
+
+def _coerce_level(level: Union[str, int]) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(level.strip().upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure(
+    level: Optional[Union[str, int]] = None, *, force: bool = False
+) -> logging.Logger:
+    """Configure the ``repro`` logger once; returns it.
+
+    With no explicit ``level`` the ``REPRO_LOG`` environment variable is
+    consulted; when that is unset too, nothing is attached and records
+    simply propagate (silent-by-default library behaviour).  ``force``
+    reapplies configuration (tests).
+    """
+    global _configured
+    logger = logging.getLogger("repro")
+    if _configured and not force:
+        return logger
+    _configured = True
+    if level is None:
+        level = os.environ.get(ENV_VAR)
+    if level is None:
+        return logger
+    logger.setLevel(_coerce_level(level))
+    if not any(
+        isinstance(h, logging.StreamHandler) for h in logger.handlers
+    ):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(name)s %(levelname).1s %(message)s",
+                "%H:%M:%S",
+            )
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Namespaced logger (``repro.<name>``), configuring lazily."""
+    configure()
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -1,0 +1,171 @@
+"""Machine-readable run reports: write, load, render, diff.
+
+Every run artifact (a ``flexminer sim/mine --emit-json`` report, a bench
+harness cell, a ``BENCH_summary.json``) shares one envelope::
+
+    {"schema": "flexminer.run/1", "kind": "sim", "meta": {...}, "data": {...}}
+
+so tooling — including ``flexminer stats`` — can flatten and compare any
+two of them without knowing which layer produced them.  Perf trajectory
+across PRs becomes ``flexminer stats old.json new.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "SCHEMA",
+    "DiffRow",
+    "diff_reports",
+    "flatten",
+    "load_report",
+    "make_report",
+    "render_diff",
+    "render_report",
+    "write_report",
+]
+
+#: Envelope schema identifier; bump the suffix on breaking changes.
+SCHEMA = "flexminer.run/1"
+
+Scalar = Union[int, float, str, bool, None]
+
+
+def make_report(
+    kind: str,
+    data: Mapping[str, object],
+    *,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Wrap a payload in the standard run-report envelope."""
+    return {
+        "schema": SCHEMA,
+        "kind": kind,
+        "meta": dict(meta or {}),
+        "data": dict(data),
+    }
+
+
+def write_report(path: str, report: Mapping[str, object]) -> str:
+    """Serialize a report (or any JSON-able mapping) to ``path``."""
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Load a JSON report; raw (non-envelope) dicts are accepted too."""
+    with open(path) as f:
+        loaded = json.load(f)
+    if not isinstance(loaded, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return loaded
+
+
+def flatten(
+    mapping: Mapping[str, object], *, prefix: str = ""
+) -> Dict[str, Scalar]:
+    """Dotted-key view of a nested mapping, scalar leaves only.
+
+    Lists of scalars are exploded positionally (``counts.0``); other
+    sequences are skipped.  The envelope's ``schema`` key is dropped so
+    diffs compare payloads, not packaging.
+    """
+    out: Dict[str, Scalar] = {}
+    for name, value in mapping.items():
+        if prefix == "" and name == "schema":
+            continue
+        key = f"{prefix}{name}"
+        if isinstance(value, Mapping):
+            out.update(flatten(value, prefix=f"{key}."))
+        elif isinstance(value, (list, tuple)):
+            if all(isinstance(v, (int, float, str, bool)) for v in value):
+                for i, v in enumerate(value):
+                    out[f"{key}.{i}"] = v
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+    return out
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One compared key between two flattened reports."""
+
+    key: str
+    before: Scalar
+    after: Scalar
+
+    @property
+    def changed(self) -> bool:
+        return self.before != self.after
+
+    @property
+    def delta(self) -> Optional[float]:
+        if isinstance(self.before, (int, float)) and isinstance(
+            self.after, (int, float)
+        ):
+            return self.after - self.before
+        return None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if (
+            isinstance(self.before, (int, float))
+            and isinstance(self.after, (int, float))
+            and self.before
+        ):
+            return self.after / self.before
+        return None
+
+
+def diff_reports(
+    before: Mapping[str, object], after: Mapping[str, object]
+) -> List[DiffRow]:
+    """Key-by-key comparison of two reports (flattened, sorted)."""
+    a = flatten(before)
+    b = flatten(after)
+    return [
+        DiffRow(key, a.get(key), b.get(key))
+        for key in sorted(set(a) | set(b))
+    ]
+
+
+def _format_value(value: Scalar) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6g}"
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Aligned ``key : value`` text rendering of one report."""
+    flat = flatten(report)
+    if not flat:
+        return "(empty report)"
+    width = max(len(k) for k in flat)
+    return "\n".join(
+        f"{key:<{width}s} : {_format_value(flat[key])}"
+        for key in sorted(flat)
+    )
+
+
+def render_diff(rows: List[DiffRow], *, all_rows: bool = False) -> str:
+    """Text table of a report diff; unchanged keys hidden by default."""
+    shown = rows if all_rows else [r for r in rows if r.changed]
+    if not shown:
+        return "no differences"
+    width = max(len(r.key) for r in shown)
+    lines = []
+    for row in shown:
+        before = _format_value(row.before)
+        after = _format_value(row.after)
+        line = f"{row.key:<{width}s} : {before:>14s} -> {after:<14s}"
+        if row.changed and row.ratio is not None:
+            line += f" ({row.ratio:.3f}x)"
+        lines.append(line)
+    return "\n".join(lines)

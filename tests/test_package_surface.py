@@ -49,6 +49,7 @@ class TestPublicSurface:
             "repro.hw",
             "repro.apps",
             "repro.bench",
+            "repro.obs",
         ],
     )
     def test_all_exports_resolve(self, module_name):

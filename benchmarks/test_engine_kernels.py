@@ -1,0 +1,61 @@
+"""Wall-clock bench for the CPU-engine kernel layer and parallel backend.
+
+Times the frozen pre-kernel engine (``LegacyEngine``) against the
+current serial engine and the multi-process ``ParallelMiner``, asserts
+count/counter parity, and writes the cross-PR diffable
+``BENCH_engine.json`` artifact (plus a human-readable text summary under
+``benchmarks/results/``).
+"""
+
+import json
+import os
+
+from repro.bench import engine_bench, write_engine_bench
+
+
+def _render(payload) -> str:
+    lines = [
+        f"engine bench (cpu_count={payload['cpu_count']}, "
+        f"quick={payload['quick_mode']})"
+    ]
+    for cell, entry in payload["cells"].items():
+        lines.append(
+            f"  {cell}: legacy {entry['legacy_seconds'] * 1e3:8.2f} ms, "
+            f"kernel {entry['kernel_seconds'] * 1e3:8.2f} ms "
+            f"({entry['kernel_speedup']:.2f}x)"
+        )
+        for workers, par in sorted(
+            entry["parallel"].items(), key=lambda kv: int(kv[0])
+        ):
+            lines.append(
+                f"    {workers} worker(s): {par['seconds'] * 1e3:8.2f} ms "
+                f"({par['speedup_vs_legacy']:.2f}x vs legacy, "
+                f"{par['speedup_vs_kernel']:.2f}x vs kernel)"
+            )
+    return "\n".join(lines)
+
+
+def test_engine_kernel_bench(benchmark, harness, save_artifact):
+    """Kernel layer vs legacy engine vs parallel sweep, with parity."""
+    payload = benchmark.pedantic(
+        lambda: engine_bench(harness), rounds=1, iterations=1
+    )
+
+    # Parity is asserted inside engine_bench; spot-check the payload
+    # shape and that the acceptance cell is present.
+    assert "4-CL_As" in payload["cells"]
+    cell = payload["cells"]["4-CL_As"]
+    assert cell["counts"] and cell["kernel_seconds"] > 0
+    assert set(cell["parallel"]) == {"1", "2", "4"}
+
+    # The artifact: next to the telemetry dir when set, else results/.
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    default = os.path.join(results_dir, "BENCH_engine.json")
+    path = write_engine_bench(
+        None if harness.telemetry_dir else default, harness
+    )
+    with open(path) as f:
+        report = json.load(f)
+    assert report["data"]["cells"].keys() == payload["cells"].keys()
+
+    save_artifact("engine_kernels.txt", _render(payload))

@@ -15,6 +15,10 @@ Every app accepts a ``backend``:
 Engine backends return a :class:`~repro.engine.explore.MiningResult`;
 the simulator returns a :class:`~repro.hw.report.SimReport`.  Both expose
 ``counts``.
+
+The ``"engine"`` backend additionally accepts ``workers=N`` to mine with
+the multi-process :class:`~repro.engine.parallel.ParallelMiner` over a
+shared-memory copy of the graph.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from ..engine import (
     CMapSoftwareEngine,
     MiningResult,
     ObliviousEngine,
+    ParallelMiner,
     PatternAwareEngine,
 )
 from ..errors import ConfigError
@@ -56,8 +61,20 @@ def _run(
     induced: bool,
     config: Optional[FlexMinerConfig],
     collect: bool,
+    workers: int = 1,
 ) -> Result:
+    if workers > 1 and backend != "engine":
+        raise ConfigError(
+            "workers > 1 requires the 'engine' backend (the parallel "
+            "miner runs PatternAwareEngine workers)"
+        )
     if backend == "engine":
+        if workers > 1:
+            if collect:
+                raise ConfigError(
+                    "the parallel miner does not collect embeddings"
+                )
+            return ParallelMiner(graph, plan, workers=workers).mine()
         return PatternAwareEngine(graph, plan, collect=collect).run()
     if backend == "cmap":
         return CMapSoftwareEngine(graph, plan, collect=collect).run()
@@ -79,9 +96,12 @@ def triangle_count(
     *,
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
+    workers: int = 1,
 ) -> Result:
     """TC: count triangles (3-cliques, orientation-optimized)."""
-    return clique_count(graph, 3, backend=backend, config=config)
+    return clique_count(
+        graph, 3, backend=backend, config=config, workers=workers
+    )
 
 
 def clique_count(
@@ -90,6 +110,7 @@ def clique_count(
     *,
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
+    workers: int = 1,
 ) -> Result:
     """k-CL: count k-cliques using the orientation technique (§V-C)."""
     pattern = k_clique(k)
@@ -102,6 +123,7 @@ def clique_count(
         induced=False,
         config=config,
         collect=False,
+        workers=workers,
     )
 
 
@@ -112,6 +134,7 @@ def subgraph_list(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     collect: bool = False,
+    workers: int = 1,
 ) -> Result:
     """SL: enumerate edge-induced matches of an arbitrary pattern."""
     plan = compile_pattern(pattern, induced=False)
@@ -123,6 +146,7 @@ def subgraph_list(
         induced=False,
         config=config,
         collect=collect,
+        workers=workers,
     )
 
 
@@ -132,6 +156,7 @@ def motif_count(
     *,
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
+    workers: int = 1,
 ) -> Result:
     """k-MC: count every k-vertex motif simultaneously (multi-pattern)."""
     plan = compile_motifs(k)
@@ -143,6 +168,7 @@ def motif_count(
         induced=True,
         config=config,
         collect=False,
+        workers=workers,
     )
 
 
@@ -154,18 +180,25 @@ def run_app(
     k: int = 3,
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
+    workers: int = 1,
 ) -> Result:
     """Dispatch by app name: 'TC', 'k-CL', 'SL' or 'k-MC'."""
     if app == "TC":
-        return triangle_count(graph, backend=backend, config=config)
+        return triangle_count(
+            graph, backend=backend, config=config, workers=workers
+        )
     if app == "k-CL":
-        return clique_count(graph, k, backend=backend, config=config)
+        return clique_count(
+            graph, k, backend=backend, config=config, workers=workers
+        )
     if app == "SL":
         if pattern is None:
             raise ConfigError("SL needs a pattern")
         return subgraph_list(
-            graph, pattern, backend=backend, config=config
+            graph, pattern, backend=backend, config=config, workers=workers
         )
     if app == "k-MC":
-        return motif_count(graph, k, backend=backend, config=config)
+        return motif_count(
+            graph, k, backend=backend, config=config, workers=workers
+        )
     raise ConfigError(f"unknown app {app!r}; expected one of {APP_NAMES}")

@@ -1,0 +1,261 @@
+"""CPU-engine wall-clock bench: kernel layer and parallel backend.
+
+The simulator benches measure modeled cycles; this module measures real
+wall-clock of the *software* engine, because the set-op kernel layer
+(:mod:`repro.engine.kernels`) and the multi-process backend
+(:mod:`repro.engine.parallel`) exist to make the CPU reference faster
+without changing what it computes.
+
+Three cell modes:
+
+* ``legacy`` — :class:`LegacyEngine`, a frozen replica of the pre-kernel
+  engine (generic ``np.intersect1d``/``np.setdiff1d``, per-element
+  injectivity loop, no count-only leaves).  This is the speedup
+  denominator, kept verbatim so the measured ratio tracks the shipped
+  optimizations rather than drifting with them.
+* ``kernel`` — the current :class:`PatternAwareEngine` (size-adaptive
+  kernels, injectivity skip, count-only leaf path).
+* ``parallel`` — :class:`ParallelMiner` with N workers and the
+  harness's straggler-splitting degree.
+
+Every cell must agree on counts, and the kernel cell must agree with
+legacy on *all* op counters (the bit-identical accounting contract).
+``write_engine_bench`` rolls the cells into ``BENCH_engine.json``; the
+speedup targets (kernel >= 1.3x, 4 workers >= 2x on multi-core hosts)
+are recorded in the payload, not asserted — machines differ, numbers are
+logged either way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine import OpCounters, ParallelMiner, PatternAwareEngine
+from ..engine.setops import merge_iterations
+from ..obs import get_logger, make_report, write_report
+from .harness import Harness, get_harness, quick_mode
+
+log = get_logger("bench.engine")
+
+__all__ = [
+    "ENGINE_BENCH_CELLS",
+    "LegacyEngine",
+    "engine_bench",
+    "run_engine_cell",
+    "write_engine_bench",
+]
+
+#: (app, dataset) cells the engine bench times.  4-CL/As is the
+#: acceptance cell; TC/As adds a memo-light workload.
+ENGINE_BENCH_CELLS = (("4-CL", "As"), ("TC", "As"))
+
+#: Worker counts for the parallel sweep.
+WORKER_SWEEP = (1, 2, 4)
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-kernel engine (the speedup denominator)
+# ----------------------------------------------------------------------
+
+def _legacy_intersect(a, b, counters: OpCounters):
+    counters.set_intersections += 1
+    counters.setop_iterations += merge_iterations(len(a), len(b))
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def _legacy_difference(a, b, counters: OpCounters):
+    counters.set_differences += 1
+    counters.setop_iterations += merge_iterations(len(a), len(b))
+    return np.setdiff1d(a, b, assume_unique=True)
+
+
+def _legacy_remove_values(values, forbidden):
+    if not len(values):
+        return values
+    mask = None
+    for v in forbidden:
+        pos = int(np.searchsorted(values, v))
+        if pos < len(values) and values[pos] == v:
+            if mask is None:
+                mask = np.ones(len(values), dtype=bool)
+            mask[pos] = False
+    return values if mask is None else values[mask]
+
+
+class LegacyEngine(PatternAwareEngine):
+    """The engine exactly as it ran before the kernel layer landed.
+
+    Candidate generation uses the generic numpy primitives and the
+    per-element injectivity loop; every leaf list is materialized.  The
+    class exists only as a measurement baseline — counts and counters
+    must match the production engine bit for bit (the bench asserts it).
+    """
+
+    supports_leaf_counting = False
+
+    def _raw_candidates(self, step, emb):
+        if self.use_frontier_memo and step.base_step is not None:
+            self.counters.frontier_hits += 1
+            cands = self._raw_stack[step.base_step]
+            for d in step.extra_connected:
+                cands = _legacy_intersect(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+            for d in step.extra_disconnected:
+                cands = _legacy_difference(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+        else:
+            if step.base_step is not None:
+                self.counters.frontier_misses += 1
+            cands = self._load_adjacency(emb[step.extender])
+            for d in step.connected:
+                cands = _legacy_intersect(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+            for d in step.disconnected:
+                cands = _legacy_difference(
+                    cands, self._load_adjacency(emb[d]), self.counters
+                )
+        self._raw_stack[step.depth] = cands
+        return cands
+
+    def _filtered_candidates(self, step, emb):
+        cands = self._raw_candidates(step, emb)
+        self.counters.candidates_checked += len(cands)
+        if step.upper_bounds:
+            bound = min(emb[b] for b in step.upper_bounds)
+            cands = cands[: int(np.searchsorted(cands, bound))]
+        if step.label is not None:
+            cands = cands[self._labels[cands] == step.label]
+        return _legacy_remove_values(cands, emb)
+
+
+# ----------------------------------------------------------------------
+# Cell runner
+# ----------------------------------------------------------------------
+
+def run_engine_cell(
+    graph,
+    plan,
+    *,
+    mode: str = "kernel",
+    workers: int = 1,
+    split_degree: Optional[int] = None,
+    repeats: int = 2,
+):
+    """Time one engine configuration; returns ``(seconds, MiningResult)``.
+
+    ``seconds`` is the best of ``repeats`` runs (wall-clock benches on
+    shared machines want a minimum, not a mean).
+    """
+    def once():
+        if mode == "legacy":
+            runner = LegacyEngine(graph, plan)
+            work = runner.run
+        elif mode == "kernel":
+            runner = PatternAwareEngine(graph, plan)
+            work = runner.run
+        elif mode == "parallel":
+            runner = ParallelMiner(
+                graph, plan, workers=workers, split_degree=split_degree
+            )
+            work = runner.mine
+        else:
+            raise ValueError(f"unknown engine bench mode {mode!r}")
+        start = time.perf_counter()
+        result = work()
+        return time.perf_counter() - start, result
+
+    best, result = once()
+    for _ in range(max(0, repeats - 1)):
+        seconds, again = once()
+        if again.counts != result.counts:  # pragma: no cover - invariant
+            raise AssertionError("engine bench repeat changed the counts")
+        best = min(best, seconds)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Bench entry points
+# ----------------------------------------------------------------------
+
+def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
+    """Measure every engine cell and return the JSON-able payload.
+
+    Asserts count parity across all modes and full op-counter parity
+    between the legacy and kernel serial engines.
+    """
+    h = harness or get_harness()
+    cells: Dict[str, object] = {}
+    for app, dataset in ENGINE_BENCH_CELLS:
+        legacy_s, legacy = h.engine_cell(app, dataset, mode="legacy")
+        kernel_s, kernel = h.engine_cell(app, dataset, mode="kernel")
+        if kernel.counts != legacy.counts:
+            raise AssertionError(
+                f"kernel engine changed counts on {app}/{dataset}: "
+                f"{kernel.counts} != {legacy.counts}"
+            )
+        if kernel.counters.as_dict() != legacy.counters.as_dict():
+            raise AssertionError(
+                f"kernel engine drifted op counters on {app}/{dataset}"
+            )
+        entry: Dict[str, object] = {
+            "counts": list(legacy.counts),
+            "legacy_seconds": legacy_s,
+            "kernel_seconds": kernel_s,
+            "kernel_speedup": legacy_s / kernel_s if kernel_s else 0.0,
+            "parallel": {},
+        }
+        for workers in WORKER_SWEEP:
+            par_s, par = h.engine_cell(
+                app, dataset, mode="parallel", workers=workers
+            )
+            if par.counts != legacy.counts:
+                raise AssertionError(
+                    f"parallel miner changed counts on {app}/{dataset} "
+                    f"({workers} workers)"
+                )
+            entry["parallel"][str(workers)] = {
+                "seconds": par_s,
+                "speedup_vs_legacy": legacy_s / par_s if par_s else 0.0,
+                "speedup_vs_kernel": kernel_s / par_s if par_s else 0.0,
+            }
+        cells[f"{app}_{dataset}"] = entry
+        log.info(
+            "engine cell %s/%s: legacy %.1f ms, kernel %.1f ms (%.2fx)",
+            app, dataset, legacy_s * 1e3, kernel_s * 1e3,
+            entry["kernel_speedup"],
+        )
+    return {
+        "quick_mode": quick_mode(),
+        "cpu_count": os.cpu_count(),
+        "split_degree": Harness.TASK_SPLIT_DEGREE,
+        "targets": {
+            "kernel_speedup": 1.3,
+            "parallel4_speedup": 2.0,
+            "note": "targets assume a multi-core host; single-core CI "
+                    "boxes log the numbers without meeting the parallel "
+                    "one",
+        },
+        "cells": cells,
+    }
+
+
+def write_engine_bench(
+    path: Optional[str] = None, harness: Optional[Harness] = None
+) -> str:
+    """Write ``BENCH_engine.json`` (the cross-PR diffable artifact)."""
+    h = harness or get_harness()
+    payload = engine_bench(h)
+    if path is None:
+        base = h.telemetry_dir or "."
+        os.makedirs(base, exist_ok=True)
+        path = os.path.join(base, "BENCH_engine.json")
+    write_report(path, make_report("bench-engine", payload))
+    log.info("engine bench written to %s", path)
+    return path

@@ -123,6 +123,7 @@ class Harness:
         self._plans: Dict[str, object] = {}
         self._sim_cache: Dict[Tuple, SimReport] = {}
         self._cpu_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
+        self._engine_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
 
     def plan(self, app: str):
         if app not in self._plans:
@@ -220,10 +221,19 @@ class Harness:
             for (app, dataset, threads), (seconds, result)
             in self._cpu_cache.items()
         }
+        engine_cells = {
+            f"{app}_{dataset}_{mode}_w{workers}": {
+                "seconds": seconds,
+                "counts": list(result.counts),
+            }
+            for (app, dataset, mode, workers), (seconds, result)
+            in self._engine_cache.items()
+        }
         return {
             "quick_mode": quick_mode(),
             "sim": sim_cells,
             "cpu": cpu_cells,
+            "engine": engine_cells,
             "metrics": self.metrics.snapshot(),
         }
 
@@ -252,6 +262,42 @@ class Harness:
                 threads=threads,
             )
         return self._cpu_cache[key]
+
+    def engine_cell(
+        self, app: str, dataset: str, *, mode: str = "kernel", workers: int = 1
+    ) -> Tuple[float, MiningResult]:
+        """Wall-clock software-engine run for one cell (memoized).
+
+        ``mode`` is ``"legacy"`` (frozen pre-kernel engine),
+        ``"kernel"`` (current serial engine) or ``"parallel"``
+        (:class:`~repro.engine.parallel.ParallelMiner` with ``workers``
+        processes and :attr:`TASK_SPLIT_DEGREE` straggler splitting —
+        parallel cells therefore report real counts but inflated merged
+        op counters; parity asserts compare counts only).
+        """
+        key = (app, dataset, mode, workers if mode == "parallel" else 1)
+        if key not in self._engine_cache:
+            from .enginebench import run_engine_cell
+
+            split = (
+                None if (mode != "parallel" or app == "3-MC")
+                else self.TASK_SPLIT_DEGREE
+            )
+            log.debug(
+                "engine cell %s/%s mode=%s workers=%d",
+                app, dataset, mode, workers,
+            )
+            self.metrics.counter("bench.engine_runs").inc()
+            self._engine_cache[key] = run_engine_cell(
+                self.graph(dataset),
+                self.plan(app),
+                mode=mode,
+                workers=workers,
+                split_degree=split,
+            )
+        else:
+            self.metrics.counter("bench.engine_cache_hits").inc()
+        return self._engine_cache[key]
 
     def speedup(
         self,

@@ -4,6 +4,7 @@ Examples::
 
     flexminer compile 4-cycle                 # print the execution-plan IR
     flexminer mine triangle --dataset Mi      # software mining
+    flexminer mine 4-clique --dataset As --workers 4   # multi-process
     flexminer sim diamond --dataset As --pes 20 --cmap-kb 8
     flexminer sim triangle --dataset Mi --trace t.json --emit-json
     flexminer stats old.json new.json         # diff two run reports
@@ -21,7 +22,7 @@ from typing import List, Optional
 from . import __version__
 from .bench import cpu_time_seconds, render_table1
 from .compiler import compile_motifs, compile_pattern, emit_ir, emit_multi_ir
-from .engine import PatternAwareEngine, mine_multi
+from .engine import ParallelMiner, PatternAwareEngine, mine_multi
 from .graph import CSRGraph, load_dataset, load_graph
 from .hw import FlexMinerConfig, simulate
 from .obs import (
@@ -76,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "sim":
             p.add_argument("--pes", type=int, default=64)
             p.add_argument("--cmap-kb", type=int, default=8)
+        if name == "mine":
+            p.add_argument(
+                "--workers", type=int, default=1,
+                help="mining worker processes (shared-memory graph)",
+            )
+            p.add_argument(
+                "--split-degree", type=int, default=None,
+                help="chunk roots above this degree into depth-1 slices "
+                "(wall-clock option; merged op counters are inflated)",
+            )
 
     motifs_p = sub.add_parser("motifs", help="k-motif counting")
     motifs_p.add_argument("k", type=int)
@@ -194,7 +205,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
 
     if args.command == "mine":
-        result = PatternAwareEngine(graph, plan, tracer=tracer).run()
+        run_meta["workers"] = args.workers
+        if args.workers > 1 or args.split_degree is not None:
+            miner = ParallelMiner(
+                graph, plan, workers=args.workers,
+                split_degree=args.split_degree, tracer=tracer,
+            )
+            result = miner.mine()
+        else:
+            result = PatternAwareEngine(graph, plan, tracer=tracer).run()
         seconds = cpu_time_seconds(result.counters)
         if args.trace:
             tracer.write(args.trace)

@@ -162,6 +162,10 @@ def measure_levels(
     scans = [0.0] * plan.num_levels
 
     class _Probe(PatternAwareEngine):
+        # The probe measures by observing every level's candidate list,
+        # so the count-only leaf shortcut must stay off.
+        supports_leaf_counting = False
+
         def _filtered_candidates(self, step, emb):
             cands = super()._filtered_candidates(step, emb)
             counts[step.depth] += len(cands)

@@ -90,6 +90,15 @@ class VertexStep:
                 raise CompileError("remainders must be step constraints")
         elif self.extra_connected or self.extra_disconnected:
             raise CompileError("remainders require a base_step")
+        # Precomputed (the engines test this per candidate list): when
+        # the connected set spans every ancestor depth, no embedding
+        # vertex can be a candidate (no vertex neighbors itself), so the
+        # injectivity filter is a no-op and the engine skips it.
+        object.__setattr__(
+            self,
+            "covers_all_ancestors",
+            len(self.full_connected) == self.depth,
+        )
 
     @property
     def full_connected(self) -> Tuple[int, ...]:

@@ -3,7 +3,14 @@
 from .counters import OpCounters
 from .explore import MiningResult, PatternAwareEngine, mine, mine_multi
 from .cmap_sw import CMapSoftwareEngine, VectorCMap
+from .kernels import (
+    GALLOP_RATIO,
+    get_strategy,
+    set_strategy,
+    strategy as kernel_strategy,
+)
 from .oblivious import BudgetExceeded, ObliviousEngine, mine_oblivious
+from .parallel import ParallelMiner, mine_parallel, order_tasks
 from .partitioned import (
     PartitionedMiner,
     PartitionStats,
@@ -24,6 +31,13 @@ __all__ = [
     "ObliviousEngine",
     "BudgetExceeded",
     "mine_oblivious",
+    "GALLOP_RATIO",
+    "get_strategy",
+    "set_strategy",
+    "kernel_strategy",
+    "ParallelMiner",
+    "mine_parallel",
+    "order_tasks",
     "check_consistency",
     "count_all_ways",
     "PartitionedMiner",

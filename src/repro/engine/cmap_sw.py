@@ -86,6 +86,10 @@ class CMapSoftwareEngine(PatternAwareEngine):
     equality).
     """
 
+    # Leaf candidates must route through the c-map query override, not
+    # the base engine's count-only shortcut.
+    supports_leaf_counting = False
+
     def __init__(
         self,
         graph: CSRGraph,

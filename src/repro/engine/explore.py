@@ -24,8 +24,16 @@ import numpy as np
 from ..compiler.plan import ExecutionPlan, MultiPlan, PlanNode, VertexStep
 from ..graph import CSRGraph, orient_by_degree
 from ..obs import NULL_REGISTRY, NULL_TRACER
+from . import kernels
 from .counters import OpCounters
-from .setops import bound_below, difference, intersect, remove_values
+from .setops import (
+    bound_below,
+    difference,
+    difference_count,
+    intersect,
+    intersect_count,
+    remove_values,
+)
 
 __all__ = ["MiningResult", "PatternAwareEngine", "mine", "mine_multi"]
 
@@ -81,6 +89,11 @@ class PatternAwareEngine:
         Honor the plan's frontier-memoization hints.  Disabled for the
         ablation bench; the paper keeps it always on "for a fair
         comparison with GraphZero".
+    count_leaves:
+        Use the count-only set-op fast path at the last plan level, so
+        leaf candidate lists are counted without being materialized.
+        Bit-identical on counts and counters; disable only to measure
+        the fast path itself (the engine bench's baseline mode).
     tracer:
         Optional :class:`repro.obs.Tracer`; ``run()`` wraps the mining
         phase in a wall-clock span.  Defaults to the no-op tracer.
@@ -97,6 +110,7 @@ class PatternAwareEngine:
         *,
         collect: bool = False,
         use_frontier_memo: bool = True,
+        count_leaves: bool = True,
         work_graph: Optional[CSRGraph] = None,
         tracer=None,
         metrics=None,
@@ -105,6 +119,7 @@ class PatternAwareEngine:
         self.plan = plan
         self.collect = collect
         self.use_frontier_memo = use_frontier_memo
+        self.count_leaves = count_leaves
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.counters = OpCounters()
@@ -143,10 +158,23 @@ class PatternAwareEngine:
             depth_limit + 1
         )
         self._chunk: Optional[Tuple[int, int]] = None
+        # DFS hot-loop caches (single-pattern plans only).
+        self._leaf_depth = None if self._multi else plan.num_levels - 1
+        self._steps = None if self._multi else plan.steps
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        """Per-pattern match counts accumulated so far (live view).
+
+        Lets callers that drive :meth:`run_task` directly — the parallel
+        miner's workers, the simulator's PEs — read results without a
+        :meth:`run` wrapper.
+        """
+        return tuple(self._counts)
+
     def run(self, roots: Optional[Iterable[int]] = None) -> MiningResult:
         """Mine the whole graph (or the given root vertices only)."""
         if roots is None:
@@ -207,12 +235,19 @@ class PatternAwareEngine:
     # Single-pattern chain walk
     # ------------------------------------------------------------------
     def _extend(self, depth: int, emb: List[int]) -> None:
-        step = self.plan.step_at(depth)
+        step = self._steps[depth - 1]
+        if (
+            depth == self._leaf_depth
+            and self._leaf_countable(step)
+            and not (depth == 1 and self._chunk is not None)
+        ):
+            self._counts[0] += self._count_leaf(step, emb)
+            return
         cands = self._filtered_candidates(step, emb)
         if depth == 1 and self._chunk is not None:
             index, total = self._chunk
             cands = np.array_split(cands, total)[index]
-        if depth == self.plan.num_levels - 1:
+        if depth == self._leaf_depth:
             self._counts[0] += len(cands)
             if self.collect:
                 self._embeddings.extend(
@@ -231,6 +266,13 @@ class PatternAwareEngine:
     # ------------------------------------------------------------------
     def _extend_node(self, node: PlanNode, emb: List[int]) -> None:
         for child in node.children:
+            if child.pattern_index is not None and self._leaf_countable(
+                child.step
+            ):
+                self._counts[child.pattern_index] += self._count_leaf(
+                    child.step, emb
+                )
+                continue
             cands = self._filtered_candidates(child.step, emb)
             if child.pattern_index is not None:
                 self._counts[child.pattern_index] += len(cands)
@@ -248,6 +290,103 @@ class PatternAwareEngine:
                 emb.pop()
 
     # ------------------------------------------------------------------
+    # Count-only leaf path
+    # ------------------------------------------------------------------
+    #: Subclasses that override candidate generation (c-map queries,
+    #: hardware timing) need every leaf list materialized through their
+    #: own :meth:`_raw_candidates`; they turn this off.
+    supports_leaf_counting = True
+
+    #: Minimum combined operand length before the leaf fast path uses the
+    #: count-only probe kernels.  Below it, materializing with the merge
+    #: kernel is as fast (numpy call overhead dominates at adjacency
+    #: lengths of a few dozen) — the probe only pays on hub-sized lists.
+    #: Counters and counts are bit-identical on both sides of the
+    #: threshold; tests set 0 to force the probe path.
+    leaf_count_min_work = 48
+
+    def _leaf_countable(self, step: VertexStep) -> bool:
+        """A leaf level can skip materialization unless the caller needs
+        embeddings or the step carries a label filter (label lookups need
+        the candidate values)."""
+        return (
+            self.supports_leaf_counting
+            and self.count_leaves
+            and not self.collect
+            and step.label is None
+        )
+
+    def _count_leaf(self, step: VertexStep, emb: Sequence[int]) -> int:
+        """Count the filtered candidates of a leaf step without
+        materializing them.
+
+        Mirrors :meth:`_filtered_candidates` /:meth:`_raw_candidates`
+        exactly on the counter side: the op chain, operand lengths, and
+        frontier/adjacency accounting are identical — only the *last*
+        set operation switches to a count-only kernel, and the symmetry
+        bound plus embedding-injectivity filters are folded into that
+        count (the bound is a sorted-prefix cut; the embedding is at
+        most ``k - 1`` binary searches).
+        """
+        bound = (
+            min(emb[b] for b in step.upper_bounds)
+            if step.upper_bounds
+            else None
+        )
+        if self.use_frontier_memo and step.base_step is not None:
+            self.counters.frontier_hits += 1
+            cands = self._raw_stack[step.base_step]
+            ops = [(True, d) for d in step.extra_connected] + [
+                (False, d) for d in step.extra_disconnected
+            ]
+        else:
+            if step.base_step is not None:
+                self.counters.frontier_misses += 1
+            cands = self._load_adjacency(emb[step.extender])
+            ops = [(True, d) for d in step.connected] + [
+                (False, d) for d in step.disconnected
+            ]
+        for is_intersect, d in ops[:-1]:
+            other = self._load_adjacency(emb[d])
+            if is_intersect:
+                cands = intersect(cands, other, self.counters)
+            else:
+                cands = difference(cands, other, self.counters)
+        # Injectivity exclusions: embedding vertices below the bound that
+        # the count kernels must subtract if they survive the op chain
+        # (exactly what remove_values would have dropped).
+        forb = None
+        if not step.covers_all_ancestors:
+            kept = emb if bound is None else [u for u in emb if u < bound]
+            if kept:
+                forb = np.asarray(kept)
+        if ops:
+            is_intersect, d = ops[-1]
+            other = self._load_adjacency(emb[d])
+            if len(cands) + len(other) >= self.leaf_count_min_work:
+                count_op = (
+                    intersect_count if is_intersect else difference_count
+                )
+                raw_len, count = count_op(
+                    cands, other, self.counters, bound=bound, exclude=forb
+                )
+                self.counters.candidates_checked += raw_len
+                return count
+            # Tiny operands: materialize with the regular counted op and
+            # fall through to the shared epilogue.
+            if is_intersect:
+                cands = intersect(cands, other, self.counters)
+            else:
+                cands = difference(cands, other, self.counters)
+        self.counters.candidates_checked += len(cands)
+        if bound is not None:
+            cands = bound_below(cands, bound)
+        count = len(cands)
+        if forb is not None and count:
+            count -= int(np.count_nonzero(kernels.members_mask(forb, cands)))
+        return count
+
+    # ------------------------------------------------------------------
     # Candidate generation
     # ------------------------------------------------------------------
     def _filtered_candidates(
@@ -260,6 +399,11 @@ class PatternAwareEngine:
             cands = bound_below(cands, bound)
         if step.label is not None:
             cands = cands[self._labels[cands] == step.label]
+        if step.covers_all_ancestors:
+            # Every candidate neighbors every embedding vertex; since no
+            # vertex neighbors itself, the injectivity filter is a no-op
+            # (clique steps hit this on every level).
+            return cands
         return remove_values(cands, emb)
 
     def _raw_candidates(

@@ -1,0 +1,250 @@
+"""Size-adaptive set-operation kernels for sorted unique id lists.
+
+The mining engines spend nearly all of their time intersecting and
+differencing sorted adjacency lists.  The generic numpy primitives
+(``np.intersect1d``/``np.setdiff1d``) concatenate and re-sort their
+operands on every call — fine for comparable lengths, wasteful when one
+operand is a short frontier probed against a long hub adjacency, which
+is the common case on power-law graphs (GraphMini makes the same
+observation for CPU engines).
+
+This module provides the raw *value* kernels; the *accounting* (merge
+iteration counts, ``OpCounters``) lives in :mod:`repro.engine.setops`
+and is unchanged by kernel selection, so the simulator's "same
+algorithmic efficiency" invariant holds whichever kernel runs.
+
+Kernels
+-------
+* **merge** — delegate to numpy's merge-style primitives.  O(n + m).
+* **gallop** — binary-search probe of the smaller operand into the
+  larger (`searchsorted` over the whole small side at once).
+  O(n log m), wins when ``len(small) << len(big)``.
+* **adaptive** (default) — pick per call: gallop when the larger side is
+  at least :data:`GALLOP_RATIO` times the smaller, merge otherwise.
+
+Count-only variants (:func:`intersect_count`, :func:`difference_count`)
+never materialize the output; the engine uses them at the last plan
+level, where the result is only ever counted.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "GALLOP_RATIO",
+    "contains",
+    "difference_count",
+    "difference_count_below",
+    "difference_values",
+    "get_strategy",
+    "intersect_count",
+    "intersect_count_below",
+    "intersect_multi",
+    "intersect_values",
+    "members_mask",
+    "set_strategy",
+    "strategy",
+]
+
+#: Length ratio beyond which the adaptive kernel switches from the
+#: linear merge to the galloping probe.  log2 of a realistic adjacency
+#: length is ~8-16, so below 8x the merge's sequential scan is at least
+#: competitive; above it the probe does strictly less work.
+GALLOP_RATIO = 8
+
+_STRATEGIES = ("adaptive", "merge", "gallop")
+_strategy = "adaptive"
+
+
+def get_strategy() -> str:
+    """Currently selected kernel strategy."""
+    return _strategy
+
+
+def set_strategy(name: str) -> None:
+    """Select the kernel strategy process-wide.
+
+    ``"merge"`` reproduces the generic numpy baseline exactly (used by
+    the engine bench to measure the kernel layer's speedup);
+    ``"gallop"`` forces the probe path (kernel unit tests);
+    ``"adaptive"`` is the production default.
+    """
+    global _strategy
+    if name not in _STRATEGIES:
+        raise ValueError(
+            f"unknown kernel strategy {name!r}; expected one of {_STRATEGIES}"
+        )
+    _strategy = name
+
+
+@contextmanager
+def strategy(name: str) -> Iterator[None]:
+    """Temporarily select a kernel strategy (restores on exit)."""
+    previous = get_strategy()
+    set_strategy(name)
+    try:
+        yield
+    finally:
+        set_strategy(previous)
+
+
+def _probe_mask(needles: np.ndarray, haystack: np.ndarray) -> np.ndarray:
+    """Boolean membership mask of ``needles`` in ``haystack`` (both sorted).
+
+    Out-of-range probe positions are clamped to slot 0 instead of being
+    masked out: a needle larger than ``haystack[-1]`` can never equal
+    ``haystack[0]``, so the equality compare rejects it without the
+    extra validity pass.  The ``.searchsorted`` method is deliberate —
+    the ``np.searchsorted`` wrapper adds measurable dispatch overhead at
+    adjacency-list sizes.
+    """
+    n = len(haystack)
+    if n == 0:
+        return np.zeros(len(needles), dtype=bool)
+    idx = haystack.searchsorted(needles)
+    idx[idx == n] = 0
+    return haystack[idx] == needles
+
+
+def members_mask(needles, haystack) -> np.ndarray:
+    """Vectorized membership of ``needles`` in the sorted ``haystack``."""
+    return _probe_mask(np.asarray(needles), np.asarray(haystack))
+
+
+def _gallop_wins(small: int, big: int) -> bool:
+    return big >= GALLOP_RATIO * small
+
+
+def intersect_values(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted intersection of two sorted unique arrays."""
+    small, big = (a, b) if len(a) <= len(b) else (b, a)
+    if len(small) == 0:
+        return small[:0]
+    if _strategy == "merge" or (
+        _strategy == "adaptive" and not _gallop_wins(len(small), len(big))
+    ):
+        return np.intersect1d(a, b, assume_unique=True)
+    return small[_probe_mask(small, big)]
+
+
+def difference_values(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted difference ``a \\ b`` of two sorted unique arrays."""
+    if len(a) == 0 or len(b) == 0:
+        return a
+    if _strategy == "merge" or (
+        _strategy == "adaptive"
+        and not _gallop_wins(min(len(a), len(b)), max(len(a), len(b)))
+    ):
+        return np.setdiff1d(a, b, assume_unique=True)
+    return a[~_probe_mask(a, b)]
+
+
+def intersect_multi(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Intersection of several sorted unique arrays, smallest operand first.
+
+    Starting from the smallest operand keeps every intermediate result
+    no larger than it, so each later probe is cheap; an empty
+    intermediate short-circuits the rest.
+    """
+    if not arrays:
+        raise ValueError("intersect_multi needs at least one array")
+    ordered = sorted(arrays, key=len)
+    out = ordered[0]
+    for other in ordered[1:]:
+        if len(out) == 0:
+            return out
+        out = intersect_values(out, other)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Count-only fast paths (leaf level: results are counted, never used)
+# ----------------------------------------------------------------------
+
+def _excluded_hits(
+    base: np.ndarray, member: np.ndarray, exclude: np.ndarray
+) -> int:
+    """How many ``exclude`` values sit in ``base`` with ``member`` set.
+
+    ``member`` is a boolean mask over ``base`` (the result-membership
+    mask the count kernels already built), so one extra probe settles
+    membership in the *result* for every excluded id at once.
+    """
+    n = len(base)
+    if n == 0:
+        return 0
+    pos = base.searchsorted(exclude)
+    pos[pos == n] = 0
+    return int(np.count_nonzero((base[pos] == exclude) & member[pos]))
+
+
+def intersect_count_below(
+    a: np.ndarray,
+    b: np.ndarray,
+    bound: Optional[int] = None,
+    exclude: Optional[np.ndarray] = None,
+) -> Tuple[int, int]:
+    """``(|a ∩ b|, |{v ∈ a ∩ b : v < bound, v ∉ exclude}|)``.
+
+    Count-only intersection: nothing is materialized.  ``bound=None``
+    means unbounded; ``exclude`` (a sorted-or-not id array, every id
+    already below the bound) is subtracted from the bounded count.  One
+    probe of the smaller operand yields both counts — the bounded one is
+    a prefix sum of the membership mask, because the operands are sorted
+    — and one more probe settles the exclusions.
+    """
+    small, big = (a, b) if len(a) <= len(b) else (b, a)
+    if len(small) == 0:
+        return 0, 0
+    hit = _probe_mask(small, big)
+    raw = int(np.count_nonzero(hit))
+    if bound is None:
+        below = raw
+    else:
+        below = int(np.count_nonzero(hit[: int(small.searchsorted(bound))]))
+    if exclude is not None and below:
+        below -= _excluded_hits(small, hit, exclude)
+    return raw, below
+
+
+def difference_count_below(
+    a: np.ndarray,
+    b: np.ndarray,
+    bound: Optional[int] = None,
+    exclude: Optional[np.ndarray] = None,
+) -> Tuple[int, int]:
+    """``(|a \\ b|, |{v ∈ a \\ b : v < bound, v ∉ exclude}|)``."""
+    if len(a) == 0:
+        return 0, 0
+    if len(b) == 0:
+        keep = np.ones(len(a), dtype=bool)
+    else:
+        keep = ~_probe_mask(a, b)
+    raw = int(np.count_nonzero(keep))
+    if bound is None:
+        below = raw
+    else:
+        below = int(np.count_nonzero(keep[: int(a.searchsorted(bound))]))
+    if exclude is not None and below:
+        below -= _excluded_hits(a, keep, exclude)
+    return raw, below
+
+
+def intersect_count(a: np.ndarray, b: np.ndarray) -> int:
+    """``|a ∩ b|`` without materializing the intersection."""
+    return intersect_count_below(a, b)[0]
+
+
+def difference_count(a: np.ndarray, b: np.ndarray) -> int:
+    """``|a \\ b|`` without materializing the difference."""
+    return difference_count_below(a, b)[0]
+
+
+def contains(values: np.ndarray, v: int) -> bool:
+    """Binary-search membership test on a sorted array."""
+    pos = int(values.searchsorted(v))
+    return pos < len(values) and int(values[pos]) == v

@@ -1,0 +1,414 @@
+"""Multi-process mining backend over shared-memory CSR buffers.
+
+The FlexMiner hardware mines one root-vertex task per PE with dynamic
+dispatch (paper §IV); this module is the CPU-side analogue: N worker
+*processes* pull (root, chunk) units from a shared queue and walk the
+search tree with the ordinary :class:`~repro.engine.explore.PatternAwareEngine`.
+
+Two properties carry over from the simulator's scheduler:
+
+* **degree-descending dispatch** — expensive hubs are issued first so
+  stragglers cannot dominate the tail (§IV-B);
+* **fine-grained chunking** — roots whose degree exceeds
+  ``split_degree`` are split into several depth-1 slices via the
+  engine's ``run_task(chunk=)`` support.
+
+The data graph never crosses a pipe: the parent copies ``indptr`` /
+``indices`` (and the oriented DAG, and labels, when present) into POSIX
+shared memory once (:class:`repro.graph.SharedCSRBuffers`) and every
+worker maps the same read-only pages, so per-worker attach cost is
+independent of graph size.
+
+Determinism: per-worker results are merged sorted by worker id, and all
+:class:`~repro.engine.counters.OpCounters` fields are additive, so the
+merged result is bit-identical to a serial run *when chunking is off*
+(the default).  Chunk splitting re-runs depth-1 candidate generation
+once per chunk and bumps ``tasks`` per unit, inflating counters — counts
+stay exact — so it is opt-in for wall-clock runs only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import (
+    CSRGraph,
+    LabeledGraph,
+    SharedCSRBuffers,
+    attach_array,
+    attach_shared_csr,
+    orient_by_degree,
+    share_array,
+)
+from ..compiler.plan import MultiPlan
+from ..obs import NULL_REGISTRY, NULL_TRACER
+from .counters import OpCounters
+from .explore import MiningResult, PatternAwareEngine
+
+__all__ = ["ParallelMiner", "mine_parallel", "order_tasks"]
+
+#: One unit of work: (root vertex, optional (index, pieces) chunk).
+Task = Tuple[int, Optional[Tuple[int, int]]]
+
+
+def order_tasks(
+    graph: CSRGraph,
+    roots: Optional[Sequence[int]] = None,
+    *,
+    split_degree: Optional[int] = None,
+) -> List[Task]:
+    """Degree-descending task list, optionally chunking heavy roots.
+
+    Mirrors the simulator scheduler's issue order: largest adjacency
+    first (ties broken by vertex id for determinism).  With
+    ``split_degree``, a root of degree d becomes ``ceil(d /
+    split_degree)`` chunk units so no single unit holds a whole hub.
+    """
+    degrees = graph.degrees()
+    if roots is None:
+        verts = np.arange(graph.num_vertices)
+    else:
+        verts = np.asarray(list(roots), dtype=np.int64)
+    order = verts[np.argsort(-degrees[verts], kind="stable")]
+    tasks: List[Task] = []
+    for v in order.tolist():
+        d = int(degrees[v])
+        if split_degree is not None and d > split_degree:
+            pieces = -(-d // split_degree)  # ceil
+            tasks.extend((v, (i, pieces)) for i in range(pieces))
+        else:
+            tasks.append((v, None))
+    return tasks
+
+
+def _build_worker_graph(
+    spec: Dict[str, object],
+    labels_spec: Optional[Dict[str, object]],
+):
+    """Attach the shared CSR (and labels) inside a worker process."""
+    graph = attach_shared_csr(spec)
+    if labels_spec is None:
+        return graph
+    labels, handle = attach_array(labels_spec)
+    labeled = LabeledGraph(graph, labels)
+    # Keep the mapping alive alongside the topology handles.
+    graph._shm = graph._shm + (handle,)
+    return labeled
+
+
+def _mine_worker(
+    worker_id: int,
+    spec: Dict[str, object],
+    labels_spec: Optional[Dict[str, object]],
+    work_spec: Optional[Dict[str, object]],
+    plan,
+    options: Dict[str, object],
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker main: attach shared buffers, drain the queue, report once."""
+    try:
+        graph = _build_worker_graph(spec, labels_spec)
+        work_graph = (
+            attach_shared_csr(work_spec) if work_spec is not None else None
+        )
+        engine = PatternAwareEngine(
+            graph, plan, work_graph=work_graph, **options
+        )
+        busy = 0.0
+        tasks_done = 0
+        chunks_done = 0
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            root, chunk = task
+            start = time.perf_counter()
+            engine.run_task(root, chunk=chunk)
+            busy += time.perf_counter() - start
+            if chunk is None:
+                tasks_done += 1
+            else:
+                chunks_done += 1
+        result_queue.put(
+            (
+                "done",
+                worker_id,
+                {
+                    "counts": list(engine.counts),
+                    "counters": engine.counters,
+                    "busy_seconds": busy,
+                    "tasks_done": tasks_done,
+                    "chunks_done": chunks_done,
+                },
+            )
+        )
+    except BaseException:  # pragma: no cover - exercised via error test
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+class ParallelMiner:
+    """Mine a plan with N worker processes over a shared-memory graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (:class:`CSRGraph` or :class:`LabeledGraph`).
+    plan:
+        A single-pattern :class:`ExecutionPlan` or a :class:`MultiPlan`.
+    workers:
+        Worker process count; defaults to ``os.cpu_count()``.
+        ``workers=1`` runs in-process (no fork, no queues) but through
+        the same degree-descending task order.
+    split_degree:
+        Chunk roots whose degree exceeds this into depth-1 slices.
+        ``None`` (default) keeps whole-root tasks, which is the
+        configuration whose merged counters are bit-identical to a
+        serial run.  Chunking never changes *counts*.  Single-pattern
+        plans only.
+    use_frontier_memo / count_leaves:
+        Forwarded to every worker's engine.
+    tracer / metrics:
+        Parent-side observability; workers run untraced and their
+        op-counter totals are merged into the parent registry.
+    """
+
+    def __init__(
+        self,
+        graph,
+        plan,
+        *,
+        workers: Optional[int] = None,
+        split_degree: Optional[int] = None,
+        use_frontier_memo: bool = True,
+        count_leaves: bool = True,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if split_degree is not None and isinstance(plan, MultiPlan):
+            raise ValueError("task chunking requires a single-pattern plan")
+        self.graph = graph
+        self.plan = plan
+        self.workers = int(workers)
+        self.split_degree = split_degree
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._options = {
+            "use_frontier_memo": use_frontier_memo,
+            "count_leaves": count_leaves,
+        }
+        self._multi = isinstance(plan, MultiPlan)
+        oriented = (not self._multi) and plan.oriented
+        self._topology = graph.graph if isinstance(graph, LabeledGraph) else graph
+        self._work_graph = (
+            orient_by_degree(self._topology) if oriented else self._topology
+        )
+
+    # ------------------------------------------------------------------
+    def _roots(self, roots: Optional[Sequence[int]]) -> List[int]:
+        """Root list after the plan's root-label filter (parent side)."""
+        if roots is None:
+            roots = range(self._topology.num_vertices)
+        root_label = None if self._multi else self.plan.root_label
+        if root_label is None:
+            return [int(v) for v in roots]
+        labels = getattr(self.graph, "labels", None)
+        if labels is None:
+            raise ValueError(
+                "plan carries label constraints but the graph is "
+                "unlabeled; wrap it in a LabeledGraph"
+            )
+        return [int(v) for v in roots if int(labels[int(v)]) == root_label]
+
+    def mine(self, roots: Optional[Sequence[int]] = None) -> MiningResult:
+        """Run the parallel mining job and merge worker results."""
+        tasks = order_tasks(
+            self._work_graph,
+            self._roots(roots),
+            split_degree=self.split_degree,
+        )
+        chunk_units = sum(1 for _, chunk in tasks if chunk is not None)
+        with self.tracer.span(
+            "mine-parallel", cat="phase", workers=self.workers,
+            tasks=len(tasks),
+        ):
+            if self.workers == 1:
+                summaries = [self._mine_serial(tasks)]
+            else:
+                summaries = self._mine_processes(tasks)
+
+        # Deterministic merge: worker order is fixed, fields additive.
+        summaries.sort(key=lambda item: item[0])
+        counts = [0] * (self.plan.num_patterns if self._multi else 1)
+        counters = OpCounters()
+        for _, summary in summaries:
+            for i, c in enumerate(summary["counts"]):
+                counts[i] += c
+            counters += summary["counters"]
+        counters.matches = sum(counts)
+
+        self.metrics.gauge("engine.parallel.workers").set(self.workers)
+        self.metrics.gauge("engine.parallel.queue_depth").set(len(tasks))
+        self.metrics.gauge("engine.parallel.chunk_units").set(chunk_units)
+        for worker_id, summary in summaries:
+            for key in ("busy_seconds", "tasks_done", "chunks_done"):
+                self.metrics.gauge(
+                    f"engine.parallel.worker_{key}", worker=worker_id
+                ).set(summary[key])
+        self.metrics.absorb(counters.as_dict(), prefix="engine.")
+        return MiningResult(counts=tuple(counts), counters=counters)
+
+    # ------------------------------------------------------------------
+    def _mine_serial(self, tasks: Sequence[Task]):
+        """workers=1: same task order, no processes, exact parity."""
+        engine = PatternAwareEngine(
+            self.graph, self.plan, work_graph=self._work_graph,
+            **self._options,
+        )
+        busy = 0.0
+        tasks_done = chunks_done = 0
+        for root, chunk in tasks:
+            start = time.perf_counter()
+            engine.run_task(root, chunk=chunk)
+            busy += time.perf_counter() - start
+            if chunk is None:
+                tasks_done += 1
+            else:
+                chunks_done += 1
+        return (
+            0,
+            {
+                "counts": list(engine.counts),
+                "counters": engine.counters,
+                "busy_seconds": busy,
+                "tasks_done": tasks_done,
+                "chunks_done": chunks_done,
+            },
+        )
+
+    def _mine_processes(self, tasks: Sequence[Task]):
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+
+        labels = getattr(self.graph, "labels", None)
+        shared: List = []
+        summaries = []
+        procs = []
+        try:
+            topo_buffers = SharedCSRBuffers(self._topology)
+            shared.append(topo_buffers)
+            labels_spec = None
+            if labels is not None:
+                shm, labels_spec = share_array(np.asarray(labels))
+                shared.append(_OwnedBlock(shm))
+            work_spec = None
+            if self._work_graph is not self._topology:
+                work_buffers = SharedCSRBuffers(self._work_graph)
+                shared.append(work_buffers)
+                work_spec = work_buffers.spec
+
+            task_queue = ctx.Queue()
+            result_queue = ctx.Queue()
+            for worker_id in range(self.workers):
+                proc = ctx.Process(
+                    target=_mine_worker,
+                    args=(
+                        worker_id,
+                        topo_buffers.spec,
+                        labels_spec,
+                        work_spec,
+                        self.plan,
+                        self._options,
+                        task_queue,
+                        result_queue,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            for task in tasks:
+                task_queue.put(task)
+            for _ in procs:
+                task_queue.put(None)
+
+            while len(summaries) < len(procs):
+                try:
+                    kind, worker_id, payload = result_queue.get(timeout=1.0)
+                except Exception:
+                    dead = [
+                        p for p in procs
+                        if p.exitcode not in (0, None)
+                    ]
+                    if dead:  # pragma: no cover - hard crash path
+                        raise RuntimeError(
+                            f"{len(dead)} mining worker(s) died with exit "
+                            f"codes {[p.exitcode for p in dead]}"
+                        )
+                    continue
+                if kind == "error":
+                    raise RuntimeError(
+                        f"mining worker {worker_id} failed:\n{payload}"
+                    )
+                summaries.append((worker_id, payload))
+            for proc in procs:
+                proc.join()
+        finally:
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - error cleanup
+                    proc.terminate()
+                    proc.join()
+            for owner in shared:
+                owner.close()
+                owner.unlink()
+        return summaries
+
+
+class _OwnedBlock:
+    """Close/unlink adapter so a bare SharedMemory handle matches the
+    SharedCSRBuffers cleanup interface."""
+
+    def __init__(self, shm) -> None:
+        self._shm = shm
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def mine_parallel(
+    graph,
+    plan,
+    *,
+    workers: Optional[int] = None,
+    split_degree: Optional[int] = None,
+    roots: Optional[Sequence[int]] = None,
+    tracer=None,
+    metrics=None,
+) -> MiningResult:
+    """Convenience wrapper: parallel-mine a plan over a graph."""
+    miner = ParallelMiner(
+        graph,
+        plan,
+        workers=workers,
+        split_degree=split_degree,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return miner.mine(roots=roots)

@@ -1,6 +1,12 @@
 """Graph substrate: CSR graphs, generators, orientation, IO, statistics."""
 
-from .csr import CSRGraph
+from .csr import (
+    CSRGraph,
+    SharedCSRBuffers,
+    attach_array,
+    attach_shared_csr,
+    share_array,
+)
 from .generators import (
     barbell_graph,
     complete_graph,
@@ -21,6 +27,10 @@ from .labels import LabeledGraph, assign_degree_labels, assign_random_labels
 
 __all__ = [
     "CSRGraph",
+    "SharedCSRBuffers",
+    "attach_array",
+    "attach_shared_csr",
+    "share_array",
     "erdos_renyi",
     "rmat",
     "power_law_cluster",

@@ -13,13 +13,19 @@ graph.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import GraphFormatError
 
-__all__ = ["CSRGraph"]
+__all__ = [
+    "CSRGraph",
+    "SharedCSRBuffers",
+    "attach_array",
+    "attach_shared_csr",
+    "share_array",
+]
 
 _INDEX_DTYPE = np.int64
 _VERTEX_DTYPE = np.int32
@@ -49,7 +55,7 @@ class CSRGraph:
     handed out by :meth:`neighbors` cannot be mutated by accident.
     """
 
-    __slots__ = ("_indptr", "_indices", "_directed", "_name")
+    __slots__ = ("_indptr", "_indices", "_directed", "_name", "_degrees", "_shm")
 
     def __init__(
         self,
@@ -70,6 +76,10 @@ class CSRGraph:
         self._indices = indices
         self._directed = bool(directed)
         self._name = name
+        self._degrees: Optional[np.ndarray] = None
+        #: Shared-memory handles keeping attached buffers mapped for the
+        #: lifetime of the graph (see :func:`attach_shared_csr`).
+        self._shm: Tuple = ()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -184,8 +194,16 @@ class CSRGraph:
         return int(self._indptr[v + 1] - self._indptr[v])
 
     def degrees(self) -> np.ndarray:
-        """Vector of all vertex degrees."""
-        return np.diff(self._indptr)
+        """Vector of all vertex degrees (computed once, then cached).
+
+        Orientation, scheduling, and parallel dispatch all consult this
+        vector; the graph is immutable, so the ``np.diff`` runs once.
+        """
+        if self._degrees is None:
+            degrees = np.diff(self._indptr)
+            degrees.flags.writeable = False
+            self._degrees = degrees
+        return self._degrees
 
     def max_degree(self) -> int:
         if self.num_vertices == 0:
@@ -277,6 +295,134 @@ class CSRGraph:
             f"CSRGraph({kind}{label}, |V|={self.num_vertices}, "
             f"|E|={self.num_edges})"
         )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory CSR (zero-copy views for multi-process mining)
+# ----------------------------------------------------------------------
+#
+# The parallel miner hands each worker process a *name*, not the arrays:
+# the parent copies ``indptr``/``indices`` into POSIX shared memory once
+# and workers map the same pages read-only.  Nothing graph-sized crosses
+# a pipe, so attach cost is independent of graph size.
+
+
+def share_array(arr: np.ndarray):
+    """Copy an array into a new shared-memory block.
+
+    Returns ``(shm, spec)`` where ``shm`` is the parent-side
+    ``SharedMemory`` handle (owner: close + unlink when done) and
+    ``spec`` is a small picklable dict :func:`attach_array` accepts.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    if arr.size:
+        view[:] = arr
+    spec = {"shm": shm.name, "shape": tuple(arr.shape), "dtype": str(arr.dtype)}
+    return shm, spec
+
+
+def _attach_block(name: str):
+    """Attach an existing shared-memory block without claiming ownership.
+
+    Attaching registers the segment with the resource tracker a second
+    time, but worker processes inherit the *parent's* tracker (the
+    parent always creates the segments, and therefore the tracker,
+    before forking/spawning workers) and the tracker's cache is a set —
+    so the duplicate registration is a no-op and the parent's final
+    unlink clears the single entry.  Workers must *not* unregister: with
+    a shared tracker that would strip the parent's registration and turn
+    the parent's cleanup into a tracker error.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def attach_array(spec: Dict[str, object]):
+    """Map a shared array by spec; returns ``(array, shm_handle)``.
+
+    The caller must keep ``shm_handle`` alive as long as the array is in
+    use (the array is a view over the mapped buffer).
+    """
+    shm = _attach_block(str(spec["shm"]))
+    arr = np.ndarray(
+        tuple(spec["shape"]), dtype=np.dtype(str(spec["dtype"])), buffer=shm.buf
+    )
+    return arr, shm
+
+
+class SharedCSRBuffers:
+    """Parent-side owner of shared-memory copies of a graph's CSR arrays.
+
+    Usage::
+
+        with SharedCSRBuffers(graph) as shared:
+            start_workers(shared.spec)   # workers call attach_shared_csr
+
+    Exiting the ``with`` block closes and unlinks the segments; workers
+    that attached before then keep their mappings until they exit.
+    """
+
+    def __init__(self, graph: "CSRGraph") -> None:
+        self._shms: List = []
+        indptr_spec = self._share(graph.indptr)
+        indices_spec = self._share(graph.indices)
+        self.spec: Dict[str, object] = {
+            "directed": graph.directed,
+            "name": graph.name,
+            "indptr": indptr_spec,
+            "indices": indices_spec,
+        }
+
+    def _share(self, arr: np.ndarray) -> Dict[str, object]:
+        shm, spec = share_array(arr)
+        self._shms.append(shm)
+        return spec
+
+    def close(self) -> None:
+        for shm in self._shms:
+            shm.close()
+
+    def unlink(self) -> None:
+        for shm in self._shms:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedCSRBuffers":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+
+def attach_shared_csr(spec: Dict[str, object]) -> CSRGraph:
+    """Rebuild a :class:`CSRGraph` over shared-memory buffers.
+
+    The returned graph holds the mapping handles internally, so it (and
+    every neighbor-list view it hands out) stays valid for the graph's
+    lifetime.  The arrays were validated when the source graph was
+    built, so validation is skipped.
+    """
+    handles: List = []
+    indptr, shm = attach_array(spec["indptr"])  # type: ignore[arg-type]
+    handles.append(shm)
+    indices, shm = attach_array(spec["indices"])  # type: ignore[arg-type]
+    handles.append(shm)
+    graph = CSRGraph(
+        indptr,
+        indices,
+        directed=bool(spec["directed"]),
+        name=str(spec["name"]),
+        validate=False,
+    )
+    graph._shm = tuple(handles)
+    return graph
 
 
 def _validate_csr(indptr: np.ndarray, indices: np.ndarray, directed: bool) -> None:

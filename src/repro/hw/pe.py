@@ -71,6 +71,10 @@ class PEStats:
 class ProcessingElement(PatternAwareEngine):
     """One FlexMiner PE: the functional engine plus cycle accounting."""
 
+    # Every candidate list must flow through the timed c-map/SIU pipeline
+    # below; the base engine's count-only leaf shortcut would skip it.
+    supports_leaf_counting = False
+
     def __init__(
         self,
         pe_id: int,

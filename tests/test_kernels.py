@@ -1,0 +1,231 @@
+"""Unit and property tests for the set-op kernel layer.
+
+The kernels must agree with numpy's generic primitives on *every* input
+— they are pure drop-in value replacements — so each case runs under all
+three strategies (merge, gallop, adaptive).  The adversarial cases
+target the probe kernel's clamp-to-slot-0 trick and the prefix-cut
+bounded counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import kernels
+from repro.engine.kernels import (
+    GALLOP_RATIO,
+    contains,
+    difference_count,
+    difference_count_below,
+    difference_values,
+    get_strategy,
+    intersect_count,
+    intersect_count_below,
+    intersect_multi,
+    intersect_values,
+    members_mask,
+    set_strategy,
+    strategy,
+)
+
+STRATEGIES = ("merge", "gallop", "adaptive")
+
+
+def arr(values):
+    return np.asarray(sorted(set(values)), dtype=np.int32)
+
+
+#: Adversarial operand pairs: empties, disjoint ranges, containment,
+#: boundary collisions (values beyond either end exercise the probe
+#: kernel's clamp-to-0), heavy skew (forces the gallop branch under
+#: "adaptive"), and singletons.
+CASES = [
+    ([], []),
+    ([], [1, 2, 3]),
+    ([1, 2, 3], []),
+    ([1, 2, 3], [4, 5, 6]),          # disjoint, a below b
+    ([7, 8, 9], [1, 2, 3]),          # disjoint, a above b
+    ([1, 2, 3, 4], [2, 3]),          # nested
+    ([2, 3], [1, 2, 3, 4]),
+    ([0], [0]),
+    ([5], [3]),
+    ([5], [9]),
+    ([0, 100], [0, 1, 2, 99, 100]),  # hits at both extremes
+    (list(range(100)), [0]),
+    (list(range(100)), [99]),
+    (list(range(100)), [100]),       # probe past the end
+    (list(range(0, 64, 2)), list(range(1, 64, 2))),  # interleaved, disjoint
+    (list(range(3)), list(range(3 * GALLOP_RATIO + 1))),  # gallop skew
+    (list(range(3 * GALLOP_RATIO + 1)), list(range(3))),
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_strategy():
+    previous = get_strategy()
+    yield
+    set_strategy(previous)
+
+
+@pytest.mark.parametrize("name", STRATEGIES)
+@pytest.mark.parametrize("a,b", CASES)
+def test_value_kernels_match_numpy(name, a, b):
+    a, b = arr(a), arr(b)
+    with strategy(name):
+        got_i = intersect_values(a, b)
+        got_d = difference_values(a, b)
+    np.testing.assert_array_equal(
+        got_i, np.intersect1d(a, b, assume_unique=True)
+    )
+    np.testing.assert_array_equal(
+        got_d, np.setdiff1d(a, b, assume_unique=True)
+    )
+
+
+@pytest.mark.parametrize("a,b", CASES)
+def test_count_kernels_match_values(a, b):
+    a, b = arr(a), arr(b)
+    assert intersect_count(a, b) == len(
+        np.intersect1d(a, b, assume_unique=True)
+    )
+    assert difference_count(a, b) == len(
+        np.setdiff1d(a, b, assume_unique=True)
+    )
+
+
+@pytest.mark.parametrize("a,b", CASES)
+@pytest.mark.parametrize("bound", [None, 0, 2, 50, 1000])
+def test_bounded_counts(a, b, bound):
+    a, b = arr(a), arr(b)
+    inter = np.intersect1d(a, b, assume_unique=True)
+    diff = np.setdiff1d(a, b, assume_unique=True)
+    cut = (lambda x: x) if bound is None else (lambda x: x[x < bound])
+    assert intersect_count_below(a, b, bound=bound) == (
+        len(inter), len(cut(inter))
+    )
+    assert difference_count_below(a, b, bound=bound) == (
+        len(diff), len(cut(diff))
+    )
+
+
+@pytest.mark.parametrize("a,b", CASES)
+def test_counts_with_exclusions(a, b):
+    """``exclude`` subtracts exactly the excluded ids present in the
+    (bounded) result — the engine's injectivity fold."""
+    a, b = arr(a), arr(b)
+    inter = np.intersect1d(a, b, assume_unique=True)
+    diff = np.setdiff1d(a, b, assume_unique=True)
+    bound = 1000  # everything in CASES is below this
+    for exclude in ([0], [2, 99], [5, 500], list(range(5))):
+        forb = np.asarray(exclude)
+        want_i = len([v for v in inter if v not in exclude])
+        want_d = len([v for v in diff if v not in exclude])
+        assert intersect_count_below(a, b, bound=bound, exclude=forb)[1] \
+            == want_i
+        assert difference_count_below(a, b, bound=bound, exclude=forb)[1] \
+            == want_d
+
+
+def test_members_mask_boundaries():
+    hay = arr([10, 20, 30])
+    needles = np.asarray([5, 10, 15, 30, 35])  # below, hit, between, hit, past
+    np.testing.assert_array_equal(
+        members_mask(needles, hay),
+        [False, True, False, True, False],
+    )
+    assert not members_mask(np.asarray([1, 2]), arr([])).any()
+
+
+def test_contains():
+    values = arr([2, 4, 6])
+    assert contains(values, 4)
+    assert not contains(values, 5)
+    assert not contains(values, 7)   # past the end
+    assert not contains(arr([]), 1)
+
+
+@pytest.mark.parametrize("name", STRATEGIES)
+def test_intersect_multi_smallest_first(name):
+    arrays = [arr(range(0, 60, k)) for k in (1, 2, 3, 4)]
+    want = arrays[0]
+    for other in arrays[1:]:
+        want = np.intersect1d(want, other, assume_unique=True)
+    with strategy(name):
+        np.testing.assert_array_equal(intersect_multi(arrays), want)
+        # An empty operand short-circuits to empty.
+        assert len(intersect_multi(arrays + [arr([])])) == 0
+    with pytest.raises(ValueError):
+        intersect_multi([])
+
+
+def test_strategy_selection():
+    assert get_strategy() == "adaptive"
+    with strategy("merge"):
+        assert get_strategy() == "merge"
+        with strategy("gallop"):
+            assert get_strategy() == "gallop"
+        assert get_strategy() == "merge"
+    assert get_strategy() == "adaptive"
+    with pytest.raises(ValueError):
+        set_strategy("bogus")
+    assert get_strategy() == "adaptive"
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+id_sets = st.sets(st.integers(min_value=0, max_value=200), max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=id_sets, b=id_sets, name=st.sampled_from(STRATEGIES))
+def test_property_value_kernels(a, b, name):
+    a, b = arr(a), arr(b)
+    with strategy(name):
+        got_i = intersect_values(a, b)
+        got_d = difference_values(a, b)
+    np.testing.assert_array_equal(
+        got_i, np.intersect1d(a, b, assume_unique=True)
+    )
+    np.testing.assert_array_equal(
+        got_d, np.setdiff1d(a, b, assume_unique=True)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=id_sets,
+    b=id_sets,
+    bound=st.one_of(st.none(), st.integers(min_value=0, max_value=220)),
+    exclude=st.sets(st.integers(min_value=0, max_value=200), max_size=6),
+)
+def test_property_count_kernels(a, b, bound, exclude):
+    a, b = arr(a), arr(b)
+    if bound is not None:
+        exclude = {v for v in exclude if v < bound}
+    forb = np.asarray(sorted(exclude)) if exclude else None
+    inter = set(np.intersect1d(a, b, assume_unique=True).tolist())
+    diff = set(np.setdiff1d(a, b, assume_unique=True).tolist())
+
+    def bounded(result):
+        kept = result if bound is None else {v for v in result if v < bound}
+        return len(kept - exclude)
+
+    raw_i, below_i = intersect_count_below(a, b, bound=bound, exclude=forb)
+    raw_d, below_d = difference_count_below(a, b, bound=bound, exclude=forb)
+    assert (raw_i, below_i) == (len(inter), bounded(inter))
+    assert (raw_d, below_d) == (len(diff), bounded(diff))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    needles=st.lists(st.integers(min_value=-5, max_value=205), max_size=30),
+    hay=id_sets,
+)
+def test_property_members_mask(needles, hay):
+    hay = arr(hay)
+    got = kernels.members_mask(np.asarray(needles, dtype=np.int64), hay)
+    want = [v in set(hay.tolist()) for v in needles]
+    np.testing.assert_array_equal(got, want)

@@ -123,6 +123,26 @@ class TestNoDrift:
         names = {e["name"] for e in tracer.events()}
         assert "mine" in names
 
+    def test_parallel_identical_with_and_without_observability(
+        self, graph, plan
+    ):
+        from repro.engine import ParallelMiner
+
+        plain = PatternAwareEngine(graph, plan).run()
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        observed = ParallelMiner(
+            graph, plan, workers=2, tracer=tracer, metrics=metrics
+        ).mine()
+        bare = ParallelMiner(graph, plan, workers=2).mine()
+        assert observed.as_dict() == plain.as_dict()
+        assert observed.as_dict() == bare.as_dict()
+        snap = metrics.snapshot()
+        assert snap["engine.parallel.workers"] == 2
+        assert snap["engine.matches"] == plain.counts[0]
+        names = {e["name"] for e in tracer.events()}
+        assert "mine-parallel" in names
+
 
 class TestSimTrace:
     def test_trace_structure(self, graph, plan):

@@ -1,0 +1,294 @@
+"""Tests for the multi-process mining backend.
+
+The contract: a :class:`ParallelMiner` run produces counts identical to
+the serial engine on every input, and — with chunking off — op counters
+identical too (every counter field is additive and the task partition is
+exact).  The shared-memory plumbing, the scheduler order, the
+observability wiring and the CLI/apps entry points are covered here;
+wall-clock behavior lives in the engine bench.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.compiler import compile_motifs, compile_pattern
+from repro.engine import (
+    ParallelMiner,
+    PatternAwareEngine,
+    mine_multi,
+    mine_parallel,
+    order_tasks,
+)
+from repro.graph import (
+    CSRGraph,
+    LabeledGraph,
+    SharedCSRBuffers,
+    assign_random_labels,
+    attach_array,
+    attach_shared_csr,
+    erdos_renyi,
+    power_law_cluster,
+    share_array,
+)
+from repro.obs import MetricsRegistry
+from repro.patterns import (
+    Pattern,
+    diamond,
+    four_cycle,
+    house,
+    k_clique,
+    triangle,
+)
+
+ER = erdos_renyi(150, 0.06, seed=7, name="er")
+PL = power_law_cluster(200, 3, 0.4, seed=9, name="pl")
+PATTERNS = [triangle(), four_cycle(), diamond(), k_clique(4), house()]
+
+
+def serial(graph, plan, **kw):
+    return PatternAwareEngine(graph, plan, **kw).run()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plumbing
+# ----------------------------------------------------------------------
+class TestSharedCSR:
+    def test_round_trip(self):
+        with SharedCSRBuffers(PL) as shared:
+            view = attach_shared_csr(shared.spec)
+            assert view.num_vertices == PL.num_vertices
+            assert view.num_edges == PL.num_edges
+            for v in (0, 1, PL.num_vertices - 1):
+                np.testing.assert_array_equal(
+                    view.neighbors(v), PL.neighbors(v)
+                )
+            for handle in view._shm:
+                handle.close()
+
+    def test_views_are_read_only(self):
+        with SharedCSRBuffers(ER) as shared:
+            view = attach_shared_csr(shared.spec)
+            with pytest.raises(ValueError):
+                view.indices[0] = 99
+            for handle in view._shm:
+                handle.close()
+
+    def test_share_array_round_trip(self):
+        labels = np.arange(10, dtype=np.int32)
+        shm, spec = share_array(labels)
+        try:
+            got, handle = attach_array(spec)
+            np.testing.assert_array_equal(got, labels)
+            handle.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+# ----------------------------------------------------------------------
+# Scheduler order
+# ----------------------------------------------------------------------
+class TestOrderTasks:
+    def test_degree_descending_with_stable_ties(self):
+        tasks = order_tasks(PL)
+        roots = [v for v, _ in tasks]
+        degs = PL.degrees()[roots]
+        assert all(degs[i] >= degs[i + 1] for i in range(len(degs) - 1))
+        # Equal degrees keep ascending vertex id (stable argsort).
+        for i in range(len(roots) - 1):
+            if degs[i] == degs[i + 1]:
+                assert roots[i] < roots[i + 1]
+        assert sorted(roots) == list(range(PL.num_vertices))
+
+    def test_chunking_covers_heavy_roots(self):
+        split = 8
+        tasks = order_tasks(PL, split_degree=split)
+        degrees = PL.degrees()
+        seen = {}
+        for v, chunk in tasks:
+            if degrees[v] > split:
+                index, pieces = chunk
+                assert pieces == -(-int(degrees[v]) // split)
+                seen.setdefault(v, set()).add(index)
+            else:
+                assert chunk is None
+        for v, indices in seen.items():
+            pieces = -(-int(degrees[v]) // split)
+            assert indices == set(range(pieces))
+
+    def test_roots_subset(self):
+        subset = [3, 5, 8]
+        tasks = order_tasks(ER, subset)
+        assert sorted(v for v, _ in tasks) == subset
+
+
+# ----------------------------------------------------------------------
+# Parity with the serial engine
+# ----------------------------------------------------------------------
+class TestParity:
+    @pytest.mark.parametrize("graph", [ER, PL], ids=["er", "power-law"])
+    @pytest.mark.parametrize(
+        "pattern", PATTERNS, ids=[p.name for p in PATTERNS]
+    )
+    def test_single_worker_counts_and_counters(self, graph, pattern):
+        plan = compile_pattern(pattern)
+        base = serial(graph, plan)
+        got = ParallelMiner(graph, plan, workers=1).mine()
+        assert got.counts == base.counts
+        assert got.counters.as_dict() == base.counters.as_dict()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_multi_process_counts_and_counters(self, workers):
+        plan = compile_pattern(k_clique(4))
+        base = serial(PL, plan)
+        got = ParallelMiner(PL, plan, workers=workers).mine()
+        assert got.counts == base.counts
+        assert got.counters.as_dict() == base.counters.as_dict()
+
+    def test_chunked_counts_exact(self):
+        # Chunking inflates counters (documented) but never counts.
+        # 4-cycle plans are unoriented, so the power-law hubs keep
+        # their full degrees and actually get split.
+        plan = compile_pattern(four_cycle())
+        base = serial(PL, plan)
+        got = mine_parallel(PL, plan, workers=2, split_degree=8)
+        assert got.counts == base.counts
+        assert got.counters.tasks > base.counters.tasks
+
+    def test_multi_pattern(self):
+        plan = compile_motifs(3)
+        base = mine_multi(ER, plan)
+        got = ParallelMiner(ER, plan, workers=2).mine()
+        assert got.counts == base.counts
+        assert got.counters.as_dict() == base.counters.as_dict()
+
+    def test_roots_restriction(self):
+        plan = compile_pattern(triangle())
+        roots = list(range(0, ER.num_vertices, 3))
+        base = serial(ER, plan, )
+        sub = PatternAwareEngine(ER, plan)
+        got = ParallelMiner(ER, plan, workers=2).mine(roots=roots)
+        want = sub.run(roots=np.asarray(roots))
+        assert got.counts == want.counts
+        assert sum(got.counts) <= sum(base.counts)
+
+    def test_labeled_root_filter(self):
+        labeled = assign_random_labels(ER, 3, seed=11)
+        pattern = Pattern(
+            3, [(0, 1), (0, 2), (1, 2)], labels=[1, 0, 2],
+            name="labeled-triangle",
+        )
+        plan = compile_pattern(pattern)
+        base = serial(labeled, plan)
+        got = ParallelMiner(labeled, plan, workers=2).mine()
+        assert got.counts == base.counts
+        assert got.counters.as_dict() == base.counters.as_dict()
+        if plan.root_label is not None:
+            with pytest.raises(ValueError, match="unlabeled"):
+                ParallelMiner(ER, plan, workers=1).mine()
+
+
+# ----------------------------------------------------------------------
+# Validation and observability
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_worker_count(self):
+        plan = compile_pattern(triangle())
+        with pytest.raises(ValueError):
+            ParallelMiner(ER, plan, workers=0)
+
+    def test_chunking_rejected_for_multi_plans(self):
+        with pytest.raises(ValueError, match="single-pattern"):
+            ParallelMiner(ER, compile_motifs(3), split_degree=8)
+
+    def test_worker_failure_surfaces(self):
+        plan = compile_pattern(triangle())
+        miner = ParallelMiner(ER, plan, workers=2)
+        miner.plan = None  # poison: workers crash building the engine
+        with pytest.raises(RuntimeError, match="worker"):
+            miner._mine_processes(order_tasks(ER))
+
+
+class TestObservability:
+    def test_parallel_gauges(self):
+        registry = MetricsRegistry()
+        plan = compile_pattern(four_cycle())
+        ParallelMiner(
+            PL, plan, workers=2, split_degree=16, metrics=registry
+        ).mine()
+        snap = registry.snapshot()
+        assert snap["engine.parallel.workers"] == 2
+        assert snap["engine.parallel.queue_depth"] > PL.num_vertices
+        assert snap["engine.parallel.chunk_units"] > 0
+        done = sum(
+            snap[f"engine.parallel.worker_tasks_done{{worker={i}}}"]
+            + snap[f"engine.parallel.worker_chunks_done{{worker={i}}}"]
+            for i in range(2)
+        )
+        assert done == snap["engine.parallel.queue_depth"]
+        assert snap["engine.matches"] == serial(PL, plan).counts[0]
+
+    def test_tracer_span(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        plan = compile_pattern(triangle())
+        ParallelMiner(ER, plan, workers=1, tracer=tracer).mine()
+        names = [e["name"] for e in tracer.events()]
+        assert "mine-parallel" in names
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+class TestEntryPoints:
+    def test_cli_workers(self, capsys):
+        assert main(
+            ["mine", "triangle", "--dataset", "As", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+
+    def test_cli_split_degree_serial(self, capsys):
+        assert main(
+            ["mine", "triangle", "--dataset", "As", "--split-degree", "16"]
+        ) == 0
+        assert "matches:" in capsys.readouterr().out
+
+    def test_apps_api_workers(self):
+        from repro.apps import clique_count
+        from repro.errors import ConfigError
+
+        base = clique_count(ER, 4)
+        got = clique_count(ER, 4, workers=2)
+        assert got.counts == base.counts
+        with pytest.raises(ConfigError):
+            clique_count(ER, 4, backend="cmap", workers=2)
+
+
+# ----------------------------------------------------------------------
+# Property: parity on random graphs
+# ----------------------------------------------------------------------
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=6, max_value=40))
+    p = draw(st.floats(min_value=0.05, max_value=0.4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return erdos_renyi(n, p, seed=seed)
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(graph=random_graphs(), use_clique=st.booleans())
+def test_property_parallel_parity(graph, use_clique):
+    plan = compile_pattern(k_clique(4) if use_clique else four_cycle())
+    base = serial(graph, plan)
+    got = ParallelMiner(graph, plan, workers=2).mine()
+    assert got.counts == base.counts
+    assert got.counters.as_dict() == base.counters.as_dict()

@@ -15,6 +15,7 @@ Public surface::
     repro.apps      TC, k-CL, SL, k-MC over any backend
     repro.bench     CPU models and the paper's tables/figures
     repro.obs       tracing, metrics, run reports, debug logging
+    repro.verify    oracle, differential backend matrix, fuzzer, corpus
 """
 
 __version__ = "1.0.0"

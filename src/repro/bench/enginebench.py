@@ -190,6 +190,8 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
     Asserts count parity across all modes and full op-counter parity
     between the legacy and kernel serial engines.
     """
+    from ..verify.differential import Mismatch
+
     h = harness or get_harness()
     cells: Dict[str, object] = {}
     for app, dataset in ENGINE_BENCH_CELLS:
@@ -197,12 +199,31 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
         kernel_s, kernel = h.engine_cell(app, dataset, mode="kernel")
         if kernel.counts != legacy.counts:
             raise AssertionError(
-                f"kernel engine changed counts on {app}/{dataset}: "
-                f"{kernel.counts} != {legacy.counts}"
+                str(
+                    Mismatch(
+                        f"{app}/{dataset}",
+                        "kernel",
+                        "count",
+                        expected=list(legacy.counts),
+                        actual=list(kernel.counts),
+                    )
+                )
             )
         if kernel.counters.as_dict() != legacy.counters.as_dict():
+            ref = legacy.counters.as_dict()
+            got = kernel.counters.as_dict()
+            keys = sorted(k for k in ref if ref[k] != got[k])
             raise AssertionError(
-                f"kernel engine drifted op counters on {app}/{dataset}"
+                str(
+                    Mismatch(
+                        f"{app}/{dataset}",
+                        "kernel",
+                        "counter-drift",
+                        expected={k: ref[k] for k in keys},
+                        actual={k: got[k] for k in keys},
+                        detail="drift vs legacy",
+                    )
+                )
             )
         entry: Dict[str, object] = {
             "counts": list(legacy.counts),
@@ -217,8 +238,15 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
             )
             if par.counts != legacy.counts:
                 raise AssertionError(
-                    f"parallel miner changed counts on {app}/{dataset} "
-                    f"({workers} workers)"
+                    str(
+                        Mismatch(
+                            f"{app}/{dataset}",
+                            f"parallel-{workers}",
+                            "count",
+                            expected=list(legacy.counts),
+                            actual=list(par.counts),
+                        )
+                    )
                 )
             entry["parallel"][str(workers)] = {
                 "seconds": par_s,

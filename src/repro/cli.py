@@ -10,6 +10,8 @@ Examples::
     flexminer stats old.json new.json         # diff two run reports
     flexminer motifs 3 --dataset As
     flexminer datasets                        # Table I for the suite
+    flexminer verify --seed 0 --cases 50      # differential fuzz, all backends
+    flexminer verify --corpus tests/corpus --cases 25 --report verify.json
 """
 
 from __future__ import annotations
@@ -114,6 +116,43 @@ def build_parser() -> argparse.ArgumentParser:
     validate_p.add_argument("ir_file", help="path to an IR text file")
     validate_p.add_argument("--trials", type=int, default=20)
 
+    verify_p = sub.add_parser(
+        "verify",
+        help="differential verification: fuzz every backend against "
+        "the brute-force oracle",
+    )
+    verify_p.add_argument(
+        "--seed", type=int, default=0, help="fuzzer RNG seed"
+    )
+    verify_p.add_argument(
+        "--cases", type=int, default=50, help="random cases to generate"
+    )
+    verify_p.add_argument(
+        "--backends", default=None,
+        help="comma-separated backend subset (default: full matrix; "
+        "see repro.verify.BACKENDS)",
+    )
+    verify_p.add_argument(
+        "--shrink", dest="shrink", action="store_true", default=True,
+        help="minimize failing cases to small reproducers (default)",
+    )
+    verify_p.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="report failures without minimizing them",
+    )
+    verify_p.add_argument(
+        "--corpus", metavar="DIR",
+        help="also replay a regression-corpus directory of case JSONs",
+    )
+    verify_p.add_argument(
+        "--report", metavar="FILE",
+        help="write a machine-readable mismatch report (flexminer.run/1)",
+    )
+    verify_p.add_argument(
+        "--max-pattern", type=int, default=4,
+        help="largest random pattern size the fuzzer draws",
+    )
+
     estimate_p = sub.add_parser(
         "estimate", help="per-level search-tree size estimates"
     )
@@ -162,6 +201,74 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = validate_plan(plan, trials=args.trials)
         print(result.message())
         return 0 if result else 1
+
+    if args.command == "verify":
+        from .obs import write_report
+        from .verify import case_to_dict, fuzz, mismatch_report, replay_corpus
+
+        backends = (
+            tuple(b.strip() for b in args.backends.split(",") if b.strip())
+            if args.backends
+            else None
+        )
+        reports = []
+        failed = 0
+
+        if args.corpus:
+            replayed = replay_corpus(args.corpus, backends=backends)
+            for path, rep in replayed:
+                reports.append(rep)
+                if not rep.ok:
+                    failed += 1
+                    print(f"corpus FAIL {path}")
+                    for mm in rep.mismatches:
+                        print(f"  {mm}")
+            print(
+                f"corpus: {len(replayed)} case(s) replayed, "
+                f"{failed} failed"
+            )
+
+        fuzz_report = fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            backends=backends,
+            shrink=args.shrink,
+            max_pattern_vertices=args.max_pattern,
+        )
+        for failure in fuzz_report.failures:
+            reports.append(failure.report)
+            print(f"fuzz FAIL {failure.case.describe()}")
+            for mm in failure.report.mismatches:
+                print(f"  {mm}")
+            if failure.shrunk is not None:
+                print(f"  shrunk to: {failure.shrunk.describe()}")
+                print(
+                    "  reproducer: "
+                    + json.dumps(case_to_dict(failure.reproducer()))
+                )
+        print(
+            f"fuzz: seed={args.seed} {fuzz_report.cases_run} case(s), "
+            f"{len(fuzz_report.failures)} failed, "
+            f"{len(fuzz_report.backends)} backend(s)"
+        )
+
+        ok = failed == 0 and fuzz_report.ok
+        if args.report:
+            payload = mismatch_report(
+                reports,
+                meta={
+                    "seed": args.seed,
+                    "cases": args.cases,
+                    "corpus": args.corpus,
+                    "backends": list(fuzz_report.backends),
+                    "version": __version__,
+                },
+            )
+            payload["data"]["fuzz"] = fuzz_report.as_dict()
+            write_report(args.report, payload)
+            print(f"report written to {args.report}", file=sys.stderr)
+        print("verify: OK" if ok else "verify: MISMATCHES FOUND")
+        return 0 if ok else 1
 
     if args.command == "estimate":
         from .compiler import estimate_plan, measure_levels

@@ -20,7 +20,6 @@ from typing import Optional
 import numpy as np
 
 from ..graph import CSRGraph
-from ..patterns import brute_force_count
 from .plan import ExecutionPlan
 
 __all__ = ["PlanValidation", "validate_plan"]
@@ -58,10 +57,13 @@ def validate_plan(
     """Check completeness + uniqueness on randomized small graphs.
 
     Labeled plans are validated against labeled random graphs drawn over
-    the label alphabet the pattern uses.
+    the label alphabet the pattern uses.  Ground truth comes from the
+    compiler-independent ESU oracle (:mod:`repro.verify.oracle`) — the
+    same reference the differential verification subsystem trusts.
     """
     from ..engine import PatternAwareEngine
     from ..graph.labels import LabeledGraph
+    from ..verify.oracle import oracle_count
 
     rng = np.random.default_rng(seed)
     pattern = plan.pattern
@@ -85,7 +87,7 @@ def validate_plan(
             )
             graph = LabeledGraph(graph, labels)
 
-        expected = brute_force_count(
+        expected = oracle_count(
             graph, pattern, induced=plan.induced
         )
         actual = PatternAwareEngine(graph, plan).run().counts[0]

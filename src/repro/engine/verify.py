@@ -6,6 +6,11 @@ simulator — must agree on match counts, and those counts must agree with
 a networkx-free brute-force enumerator on small graphs.  These helpers
 centralize that checking for tests and for users validating their own
 patterns.
+
+For the full backend matrix (count-only kernels, the legacy engine, the
+multi-process miner, the simulator), the oracle, seeded fuzzing, and
+shrinking, see the dedicated :mod:`repro.verify` subsystem — this module
+keeps the light in-process engine checks.
 """
 
 from __future__ import annotations
@@ -37,8 +42,14 @@ def count_all_ways(
     ``include_brute_force=False``.
     """
     plan = compile_pattern(pattern, induced=induced)
+    probe = PatternAwareEngine(graph, plan)
+    probe.leaf_count_min_work = 0  # force the count-only probe kernels
     results = {
         "pattern_aware": PatternAwareEngine(graph, plan).run().counts[0],
+        "pattern_aware_materialize": PatternAwareEngine(
+            graph, plan, count_leaves=False
+        ).run().counts[0],
+        "pattern_aware_probe": probe.run().counts[0],
         "cmap_software": CMapSoftwareEngine(graph, plan).run().counts[0],
         "oblivious": ObliviousEngine(
             graph, [pattern], induced=induced, max_subgraphs=max_subgraphs

@@ -123,6 +123,19 @@ class FlexMinerConfig:
     def ns_to_cycles(self, ns: float) -> float:
         return ns * self.pe_freq_ghz
 
+    @classmethod
+    def small(cls, **overrides) -> "FlexMinerConfig":
+        """A deliberately tiny design point for functional checks.
+
+        Differential verification simulates hundreds of small graphs per
+        run; 4 PEs with a 1 kB c-map keep each simulation cheap while
+        still exercising scheduling, the c-map, and the memory system.
+        Timing fidelity is irrelevant there — only counts are compared.
+        """
+        params = dict(num_pes=4, cmap_bytes=1024)
+        params.update(overrides)
+        return cls(**params)
+
     def with_pes(self, num_pes: int) -> "FlexMinerConfig":
         """Copy with a different PE count (Fig. 13/15 sweeps)."""
         return replace(self, num_pes=num_pes)

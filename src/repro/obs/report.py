@@ -1,7 +1,8 @@
 """Machine-readable run reports: write, load, render, diff.
 
 Every run artifact (a ``flexminer sim/mine --emit-json`` report, a bench
-harness cell, a ``BENCH_summary.json``) shares one envelope::
+harness cell, a ``flexminer verify`` mismatch report, a
+``BENCH_summary.json``) shares one envelope::
 
     {"schema": "flexminer.run/1", "kind": "sim", "meta": {...}, "data": {...}}
 

@@ -24,6 +24,7 @@ from .isomorphism import (
     brute_force_embeddings,
     classify_motif,
     find_isomorphism,
+    matches_on_vertex_set,
 )
 from .motifs import NUM_MOTIFS, enumerate_motifs, motif_names
 
@@ -49,6 +50,7 @@ __all__ = [
     "classify_motif",
     "brute_force_count",
     "brute_force_embeddings",
+    "matches_on_vertex_set",
     "NUM_MOTIFS",
     "enumerate_motifs",
     "motif_names",

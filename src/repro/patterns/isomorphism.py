@@ -25,6 +25,7 @@ __all__ = [
     "classify_motif",
     "brute_force_count",
     "brute_force_embeddings",
+    "matches_on_vertex_set",
 ]
 
 
@@ -128,22 +129,59 @@ def brute_force_embeddings(graph, pattern: Pattern, *, induced: bool):
     """
     k = pattern.num_vertices
     automorphisms = pattern.automorphisms()
-    matches = set()
+    matches: List[Tuple[int, ...]] = []
     for combo in itertools.combinations(range(graph.num_vertices), k):
-        sub = _induced_pattern(graph, combo)
-        if sub.num_edges < pattern.num_edges:
-            continue
-        if induced and sub.num_edges != pattern.num_edges:
-            continue
-        for perm in _hom_permutations(sub, pattern, induced=induced):
-            mapping = tuple(combo[perm[u]] for u in range(k))
-            # Canonical class representative under Aut(P).
-            rep = min(
-                tuple(mapping[a[u]] for u in range(k))
-                for a in automorphisms
+        matches.extend(
+            matches_on_vertex_set(
+                graph,
+                pattern,
+                combo,
+                induced=induced,
+                automorphisms=automorphisms,
             )
-            matches.add(rep)
+        )
     return sorted(matches)
+
+
+def matches_on_vertex_set(
+    graph,
+    pattern: Pattern,
+    combo: Sequence[int],
+    *,
+    induced: bool,
+    automorphisms: Optional[Sequence[Tuple[int, ...]]] = None,
+):
+    """Distinct matches of ``pattern`` whose image is exactly ``combo``.
+
+    ``combo`` is a tuple of ``pattern.num_vertices`` distinct data
+    vertices.  Returns one canonical representative (under the pattern's
+    automorphism group) per distinct match, as in
+    :func:`brute_force_embeddings`; injectivity over ``combo`` means
+    distinct vertex sets contribute disjoint match classes, so summing
+    over vertex sets is exact.  The verification oracle calls this on
+    *connected* vertex sets only — a connected pattern's image is always
+    connected — which is what makes it cheaper than the all-combinations
+    brute force.
+    """
+    k = pattern.num_vertices
+    sub = _induced_pattern(graph, combo)
+    if sub.num_edges < pattern.num_edges:
+        return []
+    if induced and sub.num_edges != pattern.num_edges:
+        return []
+    autos = (
+        automorphisms
+        if automorphisms is not None
+        else pattern.automorphisms()
+    )
+    reps = set()
+    for perm in _hom_permutations(sub, pattern, induced=induced):
+        mapping = tuple(combo[perm[u]] for u in range(k))
+        # Canonical class representative under Aut(P).
+        reps.add(
+            min(tuple(mapping[a[u]] for u in range(k)) for a in autos)
+        )
+    return sorted(reps)
 
 
 def _hom_permutations(sub: Pattern, pattern: Pattern, *, induced: bool):

@@ -1,0 +1,411 @@
+"""Differential runner: one case, every backend, structured mismatches.
+
+The repository produces a pattern count five independent ways — serial
+:class:`~repro.engine.explore.PatternAwareEngine` (count-only leaves on
+or off, probe kernels forced on), the frozen pre-kernel
+:class:`~repro.bench.enginebench.LegacyEngine`, the multi-process
+:class:`~repro.engine.parallel.ParallelMiner`, and the cycle-level
+FlexMiner simulator.  The differential runner executes a (graph,
+pattern) case through all of them, compares every per-pattern count
+against the compiler-independent :mod:`~repro.verify.oracle`, and
+checks the **zero-drift op-counter invariant**: with chunking off, each
+engine-side backend must report *bit-identical*
+:class:`~repro.engine.counters.OpCounters` — the count-only leaf path,
+the probe kernels, the legacy set ops, and the parallel merge all claim
+exact accounting parity, so any drift is a bug even when counts agree.
+
+Mismatches come back as structured :class:`Mismatch` records and are
+exported through :mod:`repro.obs` (``make_report("verify", ...)``
+envelopes, a ``repro.verify`` log channel, and ``verify.*`` gauges), so
+CI can archive exactly what disagreed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..compiler import compile_motifs, compile_pattern
+from ..obs import NULL_REGISTRY, get_logger, make_report
+from ..patterns import Pattern
+from .oracle import oracle_count
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKENDS",
+    "DifferentialReport",
+    "Mismatch",
+    "VerifyCase",
+    "mismatch_report",
+    "resolve_backends",
+    "run_case",
+]
+
+log = get_logger("verify")
+
+#: A backend executes a compiled plan over a case's graph and returns
+#: ``(counts, counters)``; ``counters`` is None when the backend has no
+#: OpCounters accounting (the hardware simulator).
+Backend = Callable[["VerifyCase", object], Tuple[Tuple[int, ...], object]]
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One differential test case.
+
+    Either a single ``pattern`` (edge-induced by default, vertex-induced
+    with ``induced=True``) or — when ``motif_k`` is set — the full
+    k-motif :class:`~repro.compiler.plan.MultiPlan`, whose per-pattern
+    breakdown is compared motif by motif.
+    """
+
+    graph: object  #: CSRGraph or LabeledGraph
+    pattern: Optional[Pattern] = None
+    motif_k: Optional[int] = None
+    induced: bool = False
+    matching_order: Optional[Tuple[int, ...]] = None
+    name: str = ""
+    #: Known-good per-pattern counts (regression-corpus cases).  When
+    #: set, the oracle itself is checked against it.
+    expected: Optional[Tuple[int, ...]] = None
+    #: Corpus cases too large for the exponential oracle set this False
+    #: and rely on ``expected`` (pinned from an oracle run at promotion
+    #: time) as the ground truth instead.
+    check_oracle: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.pattern is None) == (self.motif_k is None):
+            raise ValueError("exactly one of pattern/motif_k required")
+
+    def compile(self):
+        if self.motif_k is not None:
+            return compile_motifs(self.motif_k)
+        return compile_pattern(
+            self.pattern,
+            induced=self.induced,
+            matching_order=self.matching_order,
+        )
+
+    def oracle_counts(self) -> Tuple[int, ...]:
+        if self.motif_k is not None:
+            from ..patterns import enumerate_motifs
+
+            return tuple(
+                oracle_count(self.graph, m, induced=True)
+                for m in enumerate_motifs(self.motif_k)
+            )
+        return (
+            oracle_count(self.graph, self.pattern, induced=self.induced),
+        )
+
+    def describe(self) -> str:
+        g = self.graph
+        what = (
+            f"{self.motif_k}-motifs"
+            if self.motif_k is not None
+            else (self.pattern.name or repr(self.pattern))
+        )
+        sem = "induced" if self.induced else "edge-induced"
+        labeled = ", labeled" if getattr(g, "labels", None) is not None else ""
+        tag = f"{self.name}: " if self.name else ""
+        return (
+            f"{tag}{what} ({sem}) on |V|={g.num_vertices} "
+            f"|E|={g.num_edges}{labeled}"
+        )
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement surfaced by the differential runner."""
+
+    case: str
+    backend: str
+    kind: str  #: "count" | "counter-drift" | "oracle-expected" | "error"
+    expected: object = None
+    actual: object = None
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "backend": self.backend,
+            "kind": self.kind,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {self.backend} on {self.case}: "
+            f"expected {self.expected}, got {self.actual}"
+            + (f" ({self.detail})" if self.detail else "")
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """Every backend's answer for one case, plus the disagreements."""
+
+    case: VerifyCase
+    truth: Optional[Tuple[int, ...]]
+    counts: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case.describe(),
+            "truth": list(self.truth) if self.truth is not None else None,
+            "counts": {k: list(v) for k, v in sorted(self.counts.items())},
+            "ok": self.ok,
+            "mismatches": [m.as_dict() for m in self.mismatches],
+        }
+
+
+# ----------------------------------------------------------------------
+# Backend matrix
+# ----------------------------------------------------------------------
+def _serial(case: VerifyCase, plan):
+    from ..engine import PatternAwareEngine
+
+    result = PatternAwareEngine(case.graph, plan).run()
+    return result.counts, result.counters
+
+
+def _materialize(case: VerifyCase, plan):
+    """Every leaf candidate list materialized (count-only path off)."""
+    from ..engine import PatternAwareEngine
+
+    result = PatternAwareEngine(case.graph, plan, count_leaves=False).run()
+    return result.counts, result.counters
+
+
+def _kernel_probe(case: VerifyCase, plan):
+    """Count-only probe kernels forced below the size threshold."""
+    from ..engine import PatternAwareEngine
+
+    engine = PatternAwareEngine(case.graph, plan)
+    engine.leaf_count_min_work = 0
+    result = engine.run()
+    return result.counts, result.counters
+
+
+def _legacy(case: VerifyCase, plan):
+    """The frozen pre-kernel engine the benches use as a denominator."""
+    from ..bench.enginebench import LegacyEngine
+
+    result = LegacyEngine(case.graph, plan).run()
+    return result.counts, result.counters
+
+
+def _no_memo(case: VerifyCase, plan):
+    """Frontier memoization disabled (different op chain, same counts)."""
+    from ..engine import PatternAwareEngine
+
+    result = PatternAwareEngine(case.graph, plan, use_frontier_memo=False).run()
+    return result.counts, result.counters
+
+
+def _parallel(workers: int) -> Backend:
+    def run(case: VerifyCase, plan):
+        from ..engine import ParallelMiner
+
+        result = ParallelMiner(case.graph, plan, workers=workers).mine()
+        return result.counts, result.counters
+
+    return run
+
+
+def _sim(case: VerifyCase, plan):
+    from ..hw import FlexMinerConfig, simulate
+
+    report = simulate(case.graph, plan, FlexMinerConfig.small())
+    return tuple(report.counts), None
+
+
+#: The full backend matrix, in reporting order.
+BACKENDS: Dict[str, Backend] = {
+    "serial": _serial,
+    "materialize": _materialize,
+    "kernel-probe": _kernel_probe,
+    "legacy": _legacy,
+    "no-memo": _no_memo,
+    "parallel-1": _parallel(1),
+    "parallel-2": _parallel(2),
+    "parallel-4": _parallel(4),
+    "sim": _sim,
+}
+
+DEFAULT_BACKENDS: Tuple[str, ...] = tuple(BACKENDS)
+
+#: Backends whose OpCounters must be bit-identical to ``serial``'s.
+#: ``no-memo`` recomputes frontier lists (different op chain by design)
+#: so it is excluded; the simulator has no OpCounters at all.
+ZERO_DRIFT_BACKENDS: Tuple[str, ...] = (
+    "serial",
+    "materialize",
+    "kernel-probe",
+    "legacy",
+    "parallel-1",
+    "parallel-2",
+    "parallel-4",
+)
+
+
+def resolve_backends(
+    backends: Union[None, Sequence[str], Mapping[str, Backend]],
+) -> Dict[str, Backend]:
+    """Normalize a backend selection to an ordered name→callable map.
+
+    Accepts ``None`` (full matrix), a sequence of names, or a mapping —
+    the mapping form is how tests inject deliberately broken backends
+    for mutation testing.
+    """
+    if backends is None:
+        return dict(BACKENDS)
+    if isinstance(backends, Mapping):
+        return dict(backends)
+    unknown = [name for name in backends if name not in BACKENDS]
+    if unknown:
+        raise ValueError(
+            f"unknown backend(s) {unknown}; known: {', '.join(BACKENDS)}"
+        )
+    return {name: BACKENDS[name] for name in backends}
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+def run_case(
+    case: VerifyCase,
+    *,
+    backends: Union[None, Sequence[str], Mapping[str, Backend]] = None,
+    oracle: bool = True,
+    metrics=None,
+) -> DifferentialReport:
+    """Execute one case through every backend and diff the answers.
+
+    Ground truth is ``case.expected`` when present (and the oracle is
+    then *also* checked against it), else the oracle count, else —
+    with ``oracle=False`` — the serial engine's answer (pure
+    cross-backend mode for large inputs).
+    """
+    metrics = metrics if metrics is not None else NULL_REGISTRY
+    resolved = resolve_backends(backends)
+    name = case.describe()
+    report = DifferentialReport(case=case, truth=None)
+
+    try:
+        plan = case.compile()
+    except Exception as exc:  # pragma: no cover - generator bug guard
+        report.mismatches.append(
+            Mismatch(name, "compile", "error", actual=repr(exc))
+        )
+        return report
+
+    counters: Dict[str, Dict[str, int]] = {}
+    for backend_name, runner in resolved.items():
+        try:
+            counts, ctrs = runner(case, plan)
+        except Exception as exc:
+            report.mismatches.append(
+                Mismatch(name, backend_name, "error", actual=repr(exc))
+            )
+            continue
+        report.counts[backend_name] = tuple(int(c) for c in counts)
+        if ctrs is not None:
+            counters[backend_name] = ctrs.as_dict()
+
+    # -- ground truth ---------------------------------------------------
+    truth: Optional[Tuple[int, ...]] = None
+    if oracle and case.check_oracle:
+        oracle_counts = case.oracle_counts()
+        truth = oracle_counts
+        if case.expected is not None and oracle_counts != case.expected:
+            report.mismatches.append(
+                Mismatch(
+                    name,
+                    "oracle",
+                    "oracle-expected",
+                    expected=list(case.expected),
+                    actual=list(oracle_counts),
+                    detail="oracle disagrees with the corpus expectation",
+                )
+            )
+    elif case.expected is not None:
+        truth = case.expected
+    elif "serial" in report.counts:
+        truth = report.counts["serial"]
+    report.truth = truth
+
+    # -- count agreement ------------------------------------------------
+    if truth is not None:
+        for backend_name, counts in report.counts.items():
+            if counts != truth:
+                report.mismatches.append(
+                    Mismatch(
+                        name,
+                        backend_name,
+                        "count",
+                        expected=list(truth),
+                        actual=list(counts),
+                    )
+                )
+
+    # -- zero-drift op-counter invariant --------------------------------
+    drift_ref_name = next(
+        (b for b in ZERO_DRIFT_BACKENDS if b in counters), None
+    )
+    if drift_ref_name is not None:
+        ref = counters[drift_ref_name]
+        for backend_name in ZERO_DRIFT_BACKENDS:
+            got = counters.get(backend_name)
+            if got is None or got == ref:
+                continue
+            diff_keys = sorted(
+                k for k in ref if ref[k] != got.get(k)
+            )
+            report.mismatches.append(
+                Mismatch(
+                    name,
+                    backend_name,
+                    "counter-drift",
+                    expected={k: ref[k] for k in diff_keys},
+                    actual={k: got.get(k) for k in diff_keys},
+                    detail=f"drift vs {drift_ref_name} on {diff_keys}",
+                )
+            )
+
+    metrics.counter("verify.cases").inc()
+    if not report.ok:
+        metrics.counter("verify.mismatched_cases").inc()
+        metrics.counter("verify.mismatches").inc(len(report.mismatches))
+        for mismatch in report.mismatches:
+            log.warning("mismatch: %s", mismatch)
+    else:
+        log.debug("ok: %s -> %s", name, truth)
+    return report
+
+
+def mismatch_report(
+    reports: Sequence[DifferentialReport],
+    *,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Wrap differential results in the ``flexminer.run/1`` envelope.
+
+    The payload keeps only failing cases in full (plus aggregate
+    totals), which is what the CI artifact archives on failure.
+    """
+    failures = [r for r in reports if not r.ok]
+    data = {
+        "cases": len(reports),
+        "failed_cases": len(failures),
+        "ok": not failures,
+        "failures": [r.as_dict() for r in failures],
+    }
+    return make_report("verify", data, meta=meta)

@@ -1,0 +1,113 @@
+"""Brute-force matching oracle, independent of the compiler.
+
+Every mining backend in this repository executes a *compiled* plan, so a
+compiler bug would propagate to all of them and cross-backend agreement
+would prove nothing.  The oracle breaks that dependency: it counts
+matches straight from the :mod:`repro.patterns` isomorphism machinery,
+never touching matching orders, symmetry conditions, or set-op kernels.
+
+Enumeration uses ESU (Wernicke's algorithm): every *connected* k-vertex
+set is visited exactly once, and each set is classified with
+:func:`repro.patterns.matches_on_vertex_set`.  A connected pattern's
+image under any (injective) homomorphism is connected, so restricting to
+connected vertex sets loses nothing while cutting the
+``C(n, k)``-combinations cost of the plain brute force — the oracle
+stays usable on the few-hundred-vertex graphs the fuzzer generates.
+Disconnected patterns (which the compiler rejects anyway) fall back to
+the all-combinations enumerator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..patterns import Pattern, brute_force_embeddings, matches_on_vertex_set
+
+__all__ = ["connected_vertex_sets", "oracle_count", "oracle_embeddings"]
+
+
+def connected_vertex_sets(graph, k: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every connected k-vertex subset of ``graph`` exactly once.
+
+    ESU (Wernicke 2006): grow each subset from its minimum vertex
+    ``root``, extending only with vertices ``> root`` drawn from the
+    exclusive neighborhood of the newest member.  The enumeration order
+    is deterministic; each subset is yielded as a sorted tuple.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        for v in graph.vertices():
+            yield (v,)
+        return
+    for root in graph.vertices():
+        ext = [int(u) for u in graph.neighbors(root) if int(u) > root]
+        if ext:
+            nbh = {root, *ext}
+            yield from _esu_extend(graph, [root], ext, nbh, root, k)
+
+
+def _esu_extend(
+    graph,
+    sub: List[int],
+    ext: List[int],
+    nbh: set,
+    root: int,
+    k: int,
+) -> Iterator[Tuple[int, ...]]:
+    """Recursive ESU step.
+
+    ``nbh`` is the invariant ``sub ∪ N(sub)`` restricted to vertices
+    ``> root`` (plus ``root`` itself): a vertex already in ``nbh`` was
+    reachable at an earlier branch, so re-adding it would duplicate the
+    subset.
+    """
+    if len(sub) + 1 == k:
+        for w in ext:
+            yield tuple(sorted(sub + [w]))
+        return
+    ext = list(ext)
+    while ext:
+        w = ext.pop()
+        excl = [
+            int(u)
+            for u in graph.neighbors(w)
+            if int(u) > root and int(u) not in nbh
+        ]
+        yield from _esu_extend(
+            graph, sub + [w], ext + excl, nbh | {w, *excl}, root, k
+        )
+
+
+def oracle_embeddings(
+    graph, pattern: Pattern, *, induced: bool = False
+) -> List[Tuple[int, ...]]:
+    """All distinct matches, one canonical representative per class.
+
+    Same match semantics as
+    :func:`repro.patterns.brute_force_embeddings` (completeness +
+    uniqueness under the pattern's automorphism group, §II-A), same
+    return format.  ``graph`` may be a CSRGraph or a LabeledGraph.
+    """
+    if not pattern.is_connected():
+        # No connected-set shortcut applies; defer to the plain
+        # enumerator (compiler-independent too, just slower).
+        return brute_force_embeddings(graph, pattern, induced=induced)
+    automorphisms = pattern.automorphisms()
+    matches: List[Tuple[int, ...]] = []
+    for combo in connected_vertex_sets(graph, pattern.num_vertices):
+        matches.extend(
+            matches_on_vertex_set(
+                graph,
+                pattern,
+                combo,
+                induced=induced,
+                automorphisms=automorphisms,
+            )
+        )
+    return sorted(matches)
+
+
+def oracle_count(graph, pattern: Pattern, *, induced: bool = False) -> int:
+    """Number of distinct matches (see :func:`oracle_embeddings`)."""
+    return len(oracle_embeddings(graph, pattern, induced=induced))

@@ -65,6 +65,113 @@ class TestMineAndSim:
         assert mined == simmed
 
 
+class TestMineParallel:
+    def test_workers_flag_agrees_with_serial(self, capsys):
+        assert main(["mine", "triangle", "--dataset", "As"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["mine", "triangle", "--dataset", "As", "--workers", "2"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+        serial = int(serial_out.split("matches:")[1].split()[0])
+        parallel = int(parallel_out.split("matches:")[1].split()[0])
+        assert serial == parallel
+
+    def test_split_degree_routes_to_parallel_miner(self, capsys):
+        # --split-degree alone (workers=1) must still take the
+        # ParallelMiner path and keep the counts right.
+        assert main(
+            ["mine", "triangle", "--dataset", "As", "--split-degree", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+
+    def test_workers_json_report_records_workers(self, capsys):
+        import json as jsonlib
+
+        assert main(
+            ["mine", "triangle", "--dataset", "As", "--workers", "2",
+             "--emit-json"]
+        ) == 0
+        report = jsonlib.loads(capsys.readouterr().out)
+        assert report["meta"]["workers"] == 2
+
+
+class TestVerify:
+    def test_smoke_ok(self, capsys):
+        assert main(
+            ["verify", "--seed", "0", "--cases", "3",
+             "--backends", "serial,materialize"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out
+        assert "3 case(s)" in out
+
+    def test_corpus_and_report(self, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.graph import CSRGraph
+        from repro.patterns import triangle
+        from repro.verify import VerifyCase, save_case
+
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        save_case(
+            str(corpus / "tri.json"),
+            VerifyCase(
+                graph=CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)]),
+                pattern=triangle(),
+                expected=(1,),
+                name="cli-tri",
+            ),
+        )
+        report_path = tmp_path / "verify.json"
+        assert main(
+            ["verify", "--seed", "1", "--cases", "2",
+             "--backends", "serial,kernel-probe",
+             "--corpus", str(corpus), "--report", str(report_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "corpus: 1 case(s) replayed, 0 failed" in out
+        payload = jsonlib.loads(report_path.read_text())
+        assert payload["kind"] == "verify"
+        assert payload["data"]["ok"] is True
+        assert payload["data"]["fuzz"]["seed"] == 1
+
+    def test_bad_corpus_fails(self, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.graph import CSRGraph
+        from repro.patterns import triangle
+        from repro.verify import VerifyCase, case_to_dict
+
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        payload = case_to_dict(
+            VerifyCase(
+                graph=CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)]),
+                pattern=triangle(),
+                expected=(99,),  # wrong on purpose
+                name="cli-bad",
+            )
+        )
+        (corpus / "bad.json").write_text(jsonlib.dumps(payload))
+        assert main(
+            ["verify", "--seed", "1", "--cases", "1",
+             "--backends", "serial", "--no-shrink",
+             "--corpus", str(corpus)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "corpus FAIL" in out
+        assert "MISMATCHES FOUND" in out
+
+    def test_unknown_backend_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="unknown backend"):
+            main(["verify", "--cases", "1", "--backends", "warp-drive"])
+
+
 class TestOtherCommands:
     def test_datasets(self, capsys):
         assert main(["datasets"]) == 0

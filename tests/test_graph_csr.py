@@ -128,6 +128,78 @@ class TestAccessors:
         assert "|V|=4" in text and "|E|=4" in text
 
 
+class TestDegreesCachingAndEdgeCases:
+    def test_degrees_cached_same_object(self):
+        g = square()
+        first = g.degrees()
+        assert g.degrees() is first  # computed once, then cached
+
+    def test_degrees_read_only(self):
+        g = square()
+        with pytest.raises(ValueError):
+            g.degrees()[0] = 99
+
+    def test_degrees_empty_graph(self):
+        g = CSRGraph.from_edges([], num_vertices=0)
+        assert g.degrees().tolist() == []
+        assert g.max_degree() == 0
+        assert g.avg_degree() == 0.0
+
+    def test_degrees_single_vertex(self):
+        g = CSRGraph.from_edges([], num_vertices=1)
+        assert g.degrees().tolist() == [0]
+        assert g.degrees() is g.degrees()
+
+    def test_degrees_with_isolated_vertices(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], num_vertices=6)
+        assert g.degrees().tolist() == [1, 2, 1, 0, 0, 0]
+
+    def test_degrees_after_duplicate_edge_input(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert g.degrees().tolist() == [1, 2, 1]
+
+    def test_orientation_empty_graph(self):
+        from repro.graph import orient_by_degree
+
+        g = CSRGraph.from_edges([], num_vertices=0)
+        dag = orient_by_degree(g)
+        assert dag.num_vertices == 0
+        assert dag.num_directed_edges == 0
+
+    def test_orientation_single_vertex(self):
+        from repro.graph import orient_by_degree
+
+        g = CSRGraph.from_edges([], num_vertices=1)
+        dag = orient_by_degree(g)
+        assert dag.num_vertices == 1
+        assert dag.degree(0) == 0
+
+    def test_orientation_preserves_isolated_vertices(self):
+        from repro.graph import orient_by_degree
+
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=7)
+        dag = orient_by_degree(g)
+        assert dag.num_vertices == 7
+        assert dag.num_directed_edges == g.num_edges
+        assert all(dag.degree(v) == 0 for v in range(3, 7))
+
+    def test_orientation_after_duplicate_edge_input(self):
+        from repro.graph import orient_by_degree
+
+        g = CSRGraph.from_edges(
+            [(0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (0, 2)]
+        )
+        dag = orient_by_degree(g)
+        # Dedup first: 3 undirected edges become exactly 3 arcs.
+        assert dag.num_directed_edges == 3
+        # Each undirected edge appears as exactly one arc.
+        arcs = {
+            (u, int(w)) for u in dag.vertices() for w in dag.neighbors(u)
+        }
+        assert len(arcs) == 3
+        assert all((v, u) not in arcs for u, v in arcs)
+
+
 class TestNetworkxInterop:
     def test_round_trip(self):
         g = square()

@@ -1,0 +1,154 @@
+"""Tests for the ESU-based enumeration oracle (repro.verify.oracle).
+
+The oracle is the ground truth of the differential subsystem, so it is
+itself validated two ways: the ESU connected-set enumeration against a
+brute-force combinations filter, and the final counts against the
+independent ``brute_force_count`` enumerator from ``repro.patterns``.
+"""
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, LabeledGraph, erdos_renyi
+from repro.patterns import (
+    Pattern,
+    brute_force_count,
+    diamond,
+    edge,
+    four_cycle,
+    k_clique,
+    tailed_triangle,
+    triangle,
+    wedge,
+)
+from repro.verify import connected_vertex_sets, oracle_count
+
+
+def _connected_sets_brute(graph, k):
+    """Ground truth: filter all C(n, k) subsets by connectivity."""
+    out = []
+    for combo in combinations(range(graph.num_vertices), k):
+        if k == 1:
+            out.append(combo)
+            continue
+        seen = {combo[0]}
+        frontier = [combo[0]]
+        members = set(combo)
+        while frontier:
+            v = frontier.pop()
+            for w in graph.neighbors(v):
+                w = int(w)
+                if w in members and w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        if seen == members:
+            out.append(combo)
+    return sorted(out)
+
+
+class TestConnectedVertexSets:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_brute_force_filter(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 12))
+        graph = erdos_renyi(n, float(rng.uniform(0.2, 0.6)), seed=seed)
+        found = sorted(connected_vertex_sets(graph, k))
+        assert found == _connected_sets_brute(graph, k)
+
+    def test_no_duplicates(self):
+        graph = erdos_renyi(10, 0.5, seed=3)
+        sets = list(connected_vertex_sets(graph, 3))
+        assert len(sets) == len(set(sets))
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges([], num_vertices=6)
+        assert list(connected_vertex_sets(graph, 2)) == []
+        # Singletons are trivially connected even without edges.
+        assert len(list(connected_vertex_sets(graph, 1))) == 6
+
+    def test_star_sets_contain_center(self):
+        leaves = 6
+        graph = CSRGraph.from_edges([(0, i) for i in range(1, leaves + 1)])
+        for k in (2, 3, 4):
+            sets = list(connected_vertex_sets(graph, k))
+            # Every connected k-set of a star includes the center.
+            assert all(0 in s for s in sets)
+            assert len(sets) == comb(leaves, k - 1)
+
+    def test_clique_has_all_subsets(self):
+        n = 6
+        graph = CSRGraph.from_edges(
+            [(u, v) for u in range(n) for v in range(u + 1, n)]
+        )
+        assert len(list(connected_vertex_sets(graph, 3))) == comb(n, 3)
+
+
+PATTERNS = [
+    edge(),
+    wedge(),
+    triangle(),
+    four_cycle(),
+    diamond(),
+    tailed_triangle(),
+    k_clique(4),
+]
+
+
+class TestOracleCounts:
+    @pytest.mark.parametrize(
+        "pattern", PATTERNS, ids=lambda p: p.name or "pattern"
+    )
+    @pytest.mark.parametrize("induced", [False, True])
+    def test_agrees_with_brute_force(self, pattern, induced):
+        for seed in range(3):
+            graph = erdos_renyi(9, 0.45, seed=seed)
+            assert oracle_count(
+                graph, pattern, induced=induced
+            ) == brute_force_count(graph, pattern, induced=induced)
+
+    def test_labeled_graph(self):
+        rng = np.random.default_rng(7)
+        topo = erdos_renyi(10, 0.5, seed=7)
+        graph = LabeledGraph(topo, rng.integers(0, 2, size=10))
+        pattern = triangle().with_labels([0, 1, None])
+        for induced in (False, True):
+            assert oracle_count(
+                graph, pattern, induced=induced
+            ) == brute_force_count(graph, pattern, induced=induced)
+
+    def test_disconnected_pattern_falls_back(self):
+        # Two disjoint edges: ESU cannot cover it, so the oracle must
+        # fall back to the plain brute-force path and still be right.
+        pattern = Pattern(4, [(0, 1), (2, 3)], name="2xedge")
+        graph = erdos_renyi(8, 0.4, seed=11)
+        assert oracle_count(graph, pattern) == brute_force_count(
+            graph, pattern, induced=False
+        )
+
+    def test_degenerate_graphs(self):
+        empty = CSRGraph.from_edges([], num_vertices=4)
+        single = CSRGraph.from_edges([], num_vertices=1)
+        for graph in (empty, single):
+            assert oracle_count(graph, triangle()) == 0
+            assert oracle_count(graph, edge()) == 0
+
+    def test_exact_small_counts(self):
+        # K4: 4 triangles, 3 four-cycles (edge-induced), 1 four-clique.
+        k4 = CSRGraph.from_edges(
+            [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        )
+        assert oracle_count(k4, triangle()) == 4
+        assert oracle_count(k4, four_cycle()) == 3
+        assert oracle_count(k4, k_clique(4)) == 1
+        assert oracle_count(k4, four_cycle(), induced=True) == 0
+
+    def test_deterministic(self):
+        graph = erdos_renyi(12, 0.4, seed=2)
+        first = oracle_count(graph, diamond())
+        assert all(
+            oracle_count(graph, diamond()) == first for _ in range(3)
+        )

@@ -1,0 +1,73 @@
+"""Wall-clock bench for the simulator timing kernels and parallel runner.
+
+Times the legacy per-element timing path against the vectorized kernels,
+the task-sharded parallel runner (1/2/4 trace workers), and the
+cell-level sweep pool; asserts bit-identical ``SimReport`` parity for
+every mode and writes the cross-PR diffable ``BENCH_sim.json`` artifact
+(plus a human-readable text summary under ``benchmarks/results/``).
+"""
+
+import json
+import os
+
+from repro.bench import sim_bench, write_sim_bench
+
+
+def _render(payload) -> str:
+    lines = [
+        f"sim bench (cpu_count={payload['cpu_count']}, "
+        f"pool_workers={payload['pool_workers']}, "
+        f"quick={payload['quick_mode']})"
+    ]
+    for cell, entry in payload["cell"].items():
+        lines.append(
+            f"  {cell}: legacy {entry['legacy_seconds'] * 1e3:8.2f} ms, "
+            f"kernels {entry['fast_seconds'] * 1e3:8.2f} ms "
+            f"({entry['fast_speedup']:.2f}x)"
+        )
+        for workers, par in sorted(
+            entry["parallel"].items(), key=lambda kv: int(kv[0])
+        ):
+            lines.append(
+                f"    {workers} trace worker(s): "
+                f"{par['seconds'] * 1e3:8.2f} ms "
+                f"({par['speedup_vs_legacy']:.2f}x vs legacy)"
+            )
+    sweep = payload["sweep"]
+    lines.append(
+        f"  sweep ({len(sweep['cells'])} cells): "
+        f"legacy {sweep['legacy_seconds'] * 1e3:8.2f} ms, "
+        f"serial {sweep['serial_seconds'] * 1e3:8.2f} ms, "
+        f"pool {sweep['pool_seconds'] * 1e3:8.2f} ms "
+        f"({sweep['speedup_vs_legacy']:.2f}x vs legacy, "
+        f"target {payload['targets']['sweep_speedup']:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+def test_sim_speedup_bench(benchmark, harness, save_artifact):
+    """Timing kernels + parallel runner vs legacy loops, with parity."""
+    payload = benchmark.pedantic(
+        lambda: sim_bench(harness), rounds=1, iterations=1
+    )
+
+    # Bit-identical parity is asserted inside sim_bench; spot-check the
+    # payload shape and that the acceptance cell is present.
+    assert "4-CL_As" in payload["cell"]
+    cell = payload["cell"]["4-CL_As"]
+    assert cell["counts"] and cell["fast_seconds"] > 0
+    assert set(cell["parallel"]) == {"1", "2", "4"}
+    assert payload["sweep"]["pool_seconds"] > 0
+    assert payload["metrics"]["sim.wall_s"] > 0
+
+    # The artifact: next to the telemetry dir when set, else results/.
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    default = os.path.join(results_dir, "BENCH_sim.json")
+    path = write_sim_bench(
+        None if harness.telemetry_dir else default, harness
+    )
+    with open(path) as f:
+        report = json.load(f)
+    assert report["data"]["cell"].keys() == payload["cell"].keys()
+
+    save_artifact("sim_speedup.txt", _render(payload))

@@ -16,6 +16,7 @@ across PRs with ``flexminer stats``.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..compiler import compile_motifs, compile_pattern
@@ -87,6 +88,29 @@ _QUICK_ENV = "REPRO_BENCH_QUICK"
 _TELEMETRY_ENV = "REPRO_BENCH_TELEMETRY"
 
 
+def _sim_cell_config(app: str, num_pes: int, cmap_bytes: int) -> FlexMinerConfig:
+    """The per-cell simulator configuration the harness always uses."""
+    split = None if app == "3-MC" else Harness.TASK_SPLIT_DEGREE
+    return FlexMinerConfig(
+        num_pes=num_pes,
+        cmap_bytes=cmap_bytes,
+        task_split_degree=split,
+    )
+
+
+def _sim_cell_worker(key: Tuple) -> Tuple[Tuple, Dict[str, object]]:
+    """Pool worker: run one harness cell with the serial simulator.
+
+    Cells are mutually independent simulations, so running them in
+    separate processes is bit-identical to running them one by one —
+    the report crosses back as its ``as_dict`` payload.
+    """
+    app, dataset, num_pes, cmap_bytes = key
+    config = _sim_cell_config(app, num_pes, cmap_bytes)
+    report = simulate(load_dataset(dataset), _plan(app), config)
+    return key, report.as_dict()
+
+
 def quick_mode() -> bool:
     return bool(os.environ.get(_QUICK_ENV))
 
@@ -121,6 +145,8 @@ class Harness:
             telemetry_dir = os.environ.get(_TELEMETRY_ENV) or None
         self.telemetry_dir = telemetry_dir
         self._plans: Dict[str, object] = {}
+        self._sim_wall_s = 0.0
+        self._sim_cells = 0
         self._sim_cache: Dict[Tuple, SimReport] = {}
         self._cpu_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
         self._engine_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
@@ -148,22 +174,37 @@ class Harness:
         *,
         num_pes: int = 64,
         cmap_bytes: int = 8 * 1024,
+        parallel: Optional[int] = None,
     ) -> SimReport:
-        """Simulate one cell (memoized)."""
+        """Simulate one cell (memoized).
+
+        ``parallel`` spreads the trace phase of a fresh simulation over
+        that many worker processes
+        (:func:`repro.hw.parallel_sim.simulate_parallel`); the report —
+        and therefore the memo cache — is bit-identical either way, so
+        the cache key ignores it.
+        """
         key = (app, dataset, num_pes, cmap_bytes)
         if key not in self._sim_cache:
-            split = None if app == "3-MC" else self.TASK_SPLIT_DEGREE
-            config = FlexMinerConfig(
-                num_pes=num_pes,
-                cmap_bytes=cmap_bytes,
-                task_split_degree=split,
-            )
+            config = _sim_cell_config(app, num_pes, cmap_bytes)
             log.debug(
                 "sim cell %s/%s pes=%d cmap=%dB", app, dataset,
                 num_pes, cmap_bytes,
             )
             self.metrics.counter("bench.sim_runs").inc()
-            report = simulate(self.graph(dataset), self.plan(app), config)
+            start = time.perf_counter()
+            if parallel is not None and parallel > 1:
+                from ..hw.parallel_sim import simulate_parallel
+
+                report = simulate_parallel(
+                    self.graph(dataset), self.plan(app), config,
+                    workers=parallel,
+                )
+            else:
+                report = simulate(
+                    self.graph(dataset), self.plan(app), config
+                )
+            self._account_sim_wall(time.perf_counter() - start, cells=1)
             self.metrics.histogram("bench.sim_cycles").observe(report.cycles)
             self._sim_cache[key] = report
             if self.telemetry_dir:
@@ -171,6 +212,65 @@ class Harness:
         else:
             self.metrics.counter("bench.sim_cache_hits").inc()
         return self._sim_cache[key]
+
+    def sim_many(
+        self,
+        cells: List[Tuple[str, str, int, int]],
+        *,
+        workers: Optional[int] = None,
+    ) -> Dict[Tuple, SimReport]:
+        """Simulate many (app, dataset, num_pes, cmap_bytes) cells.
+
+        Fresh cells run in a process pool (cells are independent
+        simulations, so the per-cell reports are bit-identical to
+        serial ``sim()`` calls) and land in the same memo cache.
+        Returns the full key→report mapping for the requested cells.
+        """
+        fresh = [
+            key for key in dict.fromkeys(tuple(c) for c in cells)
+            if key not in self._sim_cache
+        ]
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if fresh:
+            start = time.perf_counter()
+            if workers > 1 and len(fresh) > 1:
+                import multiprocessing as mp
+
+                try:
+                    ctx = mp.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX
+                    ctx = mp.get_context("spawn")
+                with ctx.Pool(min(workers, len(fresh))) as pool:
+                    results = pool.map(_sim_cell_worker, fresh)
+            else:
+                results = [_sim_cell_worker(key) for key in fresh]
+            self._account_sim_wall(
+                time.perf_counter() - start, cells=len(fresh)
+            )
+            for key, payload in results:
+                report = SimReport.from_dict(payload)
+                self.metrics.counter("bench.sim_runs").inc()
+                self.metrics.histogram(
+                    "bench.sim_cycles"
+                ).observe(report.cycles)
+                self._sim_cache[key] = report
+                if self.telemetry_dir:
+                    self._write_cell(key, report)
+        for key in cells:
+            if tuple(key) in self._sim_cache:
+                self.metrics.counter("bench.sim_cache_hits").inc()
+        return {tuple(c): self._sim_cache[tuple(c)] for c in cells}
+
+    def _account_sim_wall(self, seconds: float, *, cells: int) -> None:
+        """Track simulator wall-clock for the perf-trajectory gauges."""
+        self._sim_wall_s += seconds
+        self._sim_cells += cells
+        self.metrics.gauge("sim.wall_s").set(self._sim_wall_s)
+        if self._sim_wall_s > 0:
+            self.metrics.gauge("sim.cells_per_s").set(
+                self._sim_cells / self._sim_wall_s
+            )
 
     # ------------------------------------------------------------------
     # Telemetry

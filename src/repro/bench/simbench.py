@@ -1,0 +1,222 @@
+"""Simulator wall-clock bench: timing kernels and the parallel runner.
+
+The accelerator simulator's *modeled* numbers (cycles, counters) are
+pinned bit-identical across every execution mode by the differential
+harness; this bench measures what the modes exist for — real wall-clock
+of producing those numbers:
+
+* ``legacy`` — per-element reference loops
+  (``FlexMinerConfig.timing_kernels=False``), the speedup denominator,
+  kept alive precisely so this ratio tracks the shipped optimization;
+* ``fast`` — the vectorized/batched timing kernels (the default);
+* ``parallel`` — :func:`repro.hw.parallel_sim.simulate_parallel` with
+  N trace workers on one cell;
+* ``sweep`` — the whole quick-mode figure sweep, serial vs the
+  cell-level process pool (:meth:`repro.bench.harness.Harness.sim_many`).
+
+Every mode's report must equal the legacy report bit for bit — the
+bench asserts it, so a perf number can never come from a divergent
+simulation.  ``write_sim_bench`` rolls everything into
+``BENCH_sim.json``; the speedup target (>= 3x on the quick sweep with
+a multi-core pool) is recorded in the payload, not asserted — CI boxes
+differ, numbers are logged either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..graph import load_dataset
+from ..hw import simulate
+from ..hw.parallel_sim import simulate_parallel
+from ..obs import get_logger, make_report, write_report
+from .harness import (
+    FIG13_CELLS,
+    Harness,
+    _plan,
+    _sim_cell_config,
+    get_harness,
+    quick_mode,
+)
+
+log = get_logger("bench.sim")
+
+__all__ = [
+    "SIM_BENCH_CELL",
+    "sim_bench",
+    "sim_sweep_cells",
+    "write_sim_bench",
+]
+
+#: The acceptance cell for per-mode timing (cheap but non-trivial).
+SIM_BENCH_CELL = ("4-CL", "As")
+
+#: Trace-worker counts for the task-sharded runner.
+WORKER_SWEEP = (1, 2, 4)
+
+
+def sim_sweep_cells() -> List[Tuple[str, str, int, int]]:
+    """The quick-mode Fig. 13 sweep (cheapest dataset per app)."""
+    return [
+        (app, datasets[0], 64, 8 * 1024)
+        for app, datasets in FIG13_CELLS.items()
+    ]
+
+
+def _time_cell(app: str, dataset: str, *, kernels: bool, repeats: int = 2):
+    """Best-of-N serial wall-clock for one cell; returns (s, report)."""
+    graph = load_dataset(dataset)
+    plan = _plan(app)
+    config = dataclasses.replace(
+        _sim_cell_config(app, 64, 8 * 1024), timing_kernels=kernels
+    )
+    best = None
+    report = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        again = simulate(graph, plan, config)
+        seconds = time.perf_counter() - start
+        if report is not None and again.as_dict() != report.as_dict():
+            raise AssertionError(  # pragma: no cover - invariant
+                "sim bench repeat changed the report"
+            )
+        report = again
+        best = seconds if best is None else min(best, seconds)
+    return best, report
+
+
+def sim_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
+    """Measure every simulator mode and return the JSON-able payload.
+
+    Asserts bit-identical reports between the legacy loops, the
+    vectorized kernels, and the parallel runner at every worker count.
+    """
+    h = harness or get_harness()
+    app, dataset = SIM_BENCH_CELL
+    legacy_s, legacy = _time_cell(app, dataset, kernels=False)
+    fast_s, fast = _time_cell(app, dataset, kernels=True)
+    if fast.as_dict() != legacy.as_dict():
+        ref, got = legacy.as_dict(), fast.as_dict()
+        keys = sorted(k for k in ref if ref[k] != got[k])
+        raise AssertionError(
+            f"timing-kernel report drift on {app}/{dataset}: {keys}"
+        )
+
+    cell_entry: Dict[str, object] = {
+        "counts": list(legacy.counts),
+        "cycles": legacy.cycles,
+        "legacy_seconds": legacy_s,
+        "fast_seconds": fast_s,
+        "fast_speedup": legacy_s / fast_s if fast_s else 0.0,
+        "parallel": {},
+    }
+    graph = load_dataset(dataset)
+    plan = _plan(app)
+    config = _sim_cell_config(app, 64, 8 * 1024)
+    for workers in WORKER_SWEEP:
+        start = time.perf_counter()
+        par = simulate_parallel(graph, plan, config, workers=workers)
+        par_s = time.perf_counter() - start
+        if par.as_dict() != legacy.as_dict():
+            raise AssertionError(
+                f"parallel-sim report drift on {app}/{dataset} "
+                f"workers={workers}"
+            )
+        cell_entry["parallel"][str(workers)] = {
+            "seconds": par_s,
+            "speedup_vs_legacy": legacy_s / par_s if par_s else 0.0,
+            "speedup_vs_fast": fast_s / par_s if par_s else 0.0,
+        }
+
+    # Whole-sweep: serial fast-path vs the cell pool.
+    cells = sim_sweep_cells()
+    start = time.perf_counter()
+    serial_reports = {}
+    for key in cells:
+        capp, cdataset, num_pes, cmap_bytes = key
+        serial_reports[key] = simulate(
+            load_dataset(cdataset),
+            _plan(capp),
+            _sim_cell_config(capp, num_pes, cmap_bytes),
+        )
+    sweep_serial_s = time.perf_counter() - start
+
+    pool_workers = os.cpu_count() or 1
+    pool_harness = Harness(metrics=h.metrics)
+    start = time.perf_counter()
+    pooled = pool_harness.sim_many(cells, workers=pool_workers)
+    sweep_pool_s = time.perf_counter() - start
+    for key, report in pooled.items():
+        if report.as_dict() != serial_reports[key].as_dict():
+            raise AssertionError(
+                f"cell-pool report drift on {key}"
+            )
+
+    # Legacy sweep (the denominator the >=3x target is measured from).
+    start = time.perf_counter()
+    for key in cells:
+        capp, cdataset, num_pes, cmap_bytes = key
+        simulate(
+            load_dataset(cdataset),
+            _plan(capp),
+            dataclasses.replace(
+                _sim_cell_config(capp, num_pes, cmap_bytes),
+                timing_kernels=False,
+            ),
+        )
+    sweep_legacy_s = time.perf_counter() - start
+
+    payload = {
+        "quick_mode": quick_mode(),
+        "cpu_count": os.cpu_count(),
+        "pool_workers": pool_workers,
+        "targets": {
+            "sweep_speedup": 3.0,
+            "note": "legacy serial sweep vs pooled fast sweep; assumes "
+                    "a multi-core host — single-core boxes log the "
+                    "serial-kernel gain only",
+        },
+        "cell": {f"{app}_{dataset}": cell_entry},
+        "sweep": {
+            "cells": [list(c) for c in cells],
+            "legacy_seconds": sweep_legacy_s,
+            "serial_seconds": sweep_serial_s,
+            "pool_seconds": sweep_pool_s,
+            "pool_speedup_vs_serial": (
+                sweep_serial_s / sweep_pool_s if sweep_pool_s else 0.0
+            ),
+            "speedup_vs_legacy": (
+                sweep_legacy_s / sweep_pool_s if sweep_pool_s else 0.0
+            ),
+        },
+        "metrics": {
+            "sim.wall_s": h.metrics.gauge("sim.wall_s").value,
+            "sim.cells_per_s": h.metrics.gauge("sim.cells_per_s").value,
+        },
+    }
+    log.info(
+        "sim bench: fast %.2fx serial, sweep %.2fx vs legacy "
+        "(%d pool workers)",
+        cell_entry["fast_speedup"],
+        payload["sweep"]["speedup_vs_legacy"],
+        pool_workers,
+    )
+    return payload
+
+
+def write_sim_bench(
+    path: Optional[str] = None, harness: Optional[Harness] = None
+) -> str:
+    """Write ``BENCH_sim.json`` (the cross-PR diffable artifact)."""
+    h = harness or get_harness()
+    payload = sim_bench(h)
+    if path is None:
+        base = h.telemetry_dir or "."
+        os.makedirs(base, exist_ok=True)
+        path = os.path.join(base, "BENCH_sim.json")
+    write_report(path, make_report("bench-sim", payload))
+    log.info("sim bench written to %s", path)
+    return path

@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "sim":
             p.add_argument("--pes", type=int, default=64)
             p.add_argument("--cmap-kb", type=int, default=8)
+            p.add_argument(
+                "--workers", type=int, default=1,
+                help="trace-phase worker processes; the report is "
+                "bit-identical to the serial simulator (--trace forces "
+                "a serial run)",
+            )
         if name == "mine":
             p.add_argument(
                 "--workers", type=int, default=1,
@@ -342,7 +348,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_pes=args.pes, cmap_bytes=args.cmap_kb * 1024
         )
         run_meta.update(num_pes=args.pes, cmap_bytes=args.cmap_kb * 1024)
-        report = simulate(graph, plan, config, tracer=tracer)
+        workers = args.workers
+        if workers > 1 and args.trace:
+            print(
+                "--trace hooks into simulator internals the parallel "
+                "runner bypasses; running serial",
+                file=sys.stderr,
+            )
+            workers = 1
+        if workers > 1:
+            from .hw.parallel_sim import simulate_parallel
+
+            run_meta["workers"] = workers
+            report = simulate_parallel(graph, plan, config, workers=workers)
+        else:
+            report = simulate(graph, plan, config, tracer=tracer)
         if args.trace:
             tracer.write(args.trace)
             print(f"trace written to {args.trace}", file=sys.stderr)

@@ -11,6 +11,7 @@ from .pe import PEStats, ProcessingElement
 from .scheduler import Scheduler
 from .report import SimReport
 from .accelerator import FlexMinerAccelerator, simulate
+from .parallel_sim import simulate_parallel
 from .area import (
     PE_AREA_MM2,
     SKYLAKE_CORE_AREA_MM2,
@@ -42,6 +43,7 @@ __all__ = [
     "SimReport",
     "FlexMinerAccelerator",
     "simulate",
+    "simulate_parallel",
     "AreaModel",
     "PE_AREA_MM2",
     "SKYLAKE_CORE_AREA_MM2",

@@ -22,7 +22,94 @@ from .pe import ProcessingElement
 from .report import SimReport
 from .scheduler import Scheduler
 
-__all__ = ["FlexMinerAccelerator", "simulate"]
+__all__ = [
+    "FlexMinerAccelerator",
+    "build_report",
+    "filter_roots",
+    "simulate",
+]
+
+
+def filter_roots(plan, graph, work_graph, roots):
+    """Apply the plan's root-label constraint to the task roots.
+
+    Returns ``roots`` unchanged for unlabeled plans; otherwise the
+    filtered explicit root list.  Shared by the serial accelerator and
+    the parallel sweep runner so both schedule identical task sets.
+    """
+    root_label = getattr(plan, "root_label", None)
+    if root_label is None:
+        return roots
+    labels = graph.labels  # engine init validated presence
+    candidates = roots if roots is not None else work_graph.vertices()
+    return [v for v in candidates if int(labels[int(v)]) == root_label]
+
+
+def build_report(
+    pes, memsys, config: FlexMinerConfig, num_patterns: int, makespan: float
+) -> SimReport:
+    """Aggregate per-PE and memory-system state into a :class:`SimReport`.
+
+    ``pes`` only needs the PE result surface (``counts``, ``stats``,
+    ``private``, ``cmap``, ``time``), so the parallel runner's replay
+    PEs aggregate through the same code path as the serial simulator.
+    """
+    counts = [0] * num_patterns
+    busy = stall = pruner = setop = cmap_cycles = 0.0
+    private_hits = private_misses = 0
+    cmap_reads = cmap_writes = cmap_over = fallbacks = 0
+    frontier_reads = 0
+    tasks = 0
+    per_pe = []
+    for pe in pes:
+        for i, c in enumerate(pe.counts):
+            counts[i] += c
+        busy += pe.stats.busy_cycles
+        stall += pe.stats.stall_cycles
+        pruner += pe.stats.pruner_cycles
+        setop += pe.stats.setop_cycles
+        cmap_cycles += pe.stats.cmap_cycles
+        private_hits += pe.private.stats.hits
+        private_misses += pe.private.stats.misses
+        frontier_reads += pe.stats.frontier_reads
+        fallbacks += pe.stats.cmap_fallbacks
+        tasks += pe.stats.tasks
+        per_pe.append(pe.time)
+        if pe.cmap is not None:
+            cmap_reads += pe.cmap.stats.reads
+            cmap_writes += pe.cmap.stats.writes
+            cmap_over += pe.cmap.stats.overflows
+
+    seconds = makespan / (config.pe_freq_ghz * 1e9)
+    return SimReport(
+        counts=tuple(counts),
+        cycles=makespan,
+        seconds=seconds,
+        num_pes=config.num_pes,
+        busy_cycles=busy,
+        stall_cycles=stall,
+        pruner_cycles=pruner,
+        setop_cycles=setop,
+        cmap_cycles=cmap_cycles,
+        noc_requests=memsys.noc.stats.requests,
+        dram_accesses=memsys.dram.stats.accesses,
+        l2_hits=memsys.l2.stats.hits,
+        l2_misses=memsys.l2.stats.misses,
+        private_hits=private_hits,
+        private_misses=private_misses,
+        cmap_reads=cmap_reads,
+        cmap_writes=cmap_writes,
+        cmap_overflows=cmap_over,
+        cmap_fallbacks=fallbacks,
+        frontier_reads=frontier_reads,
+        tasks=tasks,
+        per_pe_cycles=per_pe,
+        extras={
+            "noc_queue_cycles": memsys.noc.stats.queue_cycles,
+            "dram_queue_cycles": memsys.dram.stats.queue_cycles,
+            "dram_row_hit_rate": memsys.dram.stats.row_hit_rate,
+        },
+    )
 
 
 class FlexMinerAccelerator:
@@ -88,13 +175,7 @@ class FlexMinerAccelerator:
             raise SimulationError(
                 "task splitting requires a single-pattern plan"
             )
-        root_label = getattr(self.plan, "root_label", None)
-        if root_label is not None:
-            labels = self.graph.labels  # engine init validated presence
-            candidates = roots if roots is not None else (
-                self._work_graph.vertices()
-            )
-            roots = [v for v in candidates if int(labels[int(v)]) == root_label]
+        roots = filter_roots(self.plan, self.graph, self._work_graph, roots)
         tasks = Scheduler.order_tasks(
             self._work_graph, roots, split_degree=split
         )
@@ -117,61 +198,8 @@ class FlexMinerAccelerator:
             if isinstance(self.plan, MultiPlan)
             else 1
         )
-        counts = [0] * num_patterns
-        busy = stall = pruner = setop = cmap_cycles = 0.0
-        private_hits = private_misses = 0
-        cmap_reads = cmap_writes = cmap_over = fallbacks = 0
-        frontier_reads = 0
-        tasks = 0
-        per_pe = []
-        for pe in self.pes:
-            for i, c in enumerate(pe.counts):
-                counts[i] += c
-            busy += pe.stats.busy_cycles
-            stall += pe.stats.stall_cycles
-            pruner += pe.stats.pruner_cycles
-            setop += pe.stats.setop_cycles
-            cmap_cycles += pe.stats.cmap_cycles
-            private_hits += pe.private.stats.hits
-            private_misses += pe.private.stats.misses
-            frontier_reads += pe.stats.frontier_reads
-            fallbacks += pe.stats.cmap_fallbacks
-            tasks += pe.stats.tasks
-            per_pe.append(pe.time)
-            if pe.cmap is not None:
-                cmap_reads += pe.cmap.stats.reads
-                cmap_writes += pe.cmap.stats.writes
-                cmap_over += pe.cmap.stats.overflows
-
-        seconds = makespan / (self.config.pe_freq_ghz * 1e9)
-        return SimReport(
-            counts=tuple(counts),
-            cycles=makespan,
-            seconds=seconds,
-            num_pes=self.config.num_pes,
-            busy_cycles=busy,
-            stall_cycles=stall,
-            pruner_cycles=pruner,
-            setop_cycles=setop,
-            cmap_cycles=cmap_cycles,
-            noc_requests=self.memsys.noc.stats.requests,
-            dram_accesses=self.memsys.dram.stats.accesses,
-            l2_hits=self.memsys.l2.stats.hits,
-            l2_misses=self.memsys.l2.stats.misses,
-            private_hits=private_hits,
-            private_misses=private_misses,
-            cmap_reads=cmap_reads,
-            cmap_writes=cmap_writes,
-            cmap_overflows=cmap_over,
-            cmap_fallbacks=fallbacks,
-            frontier_reads=frontier_reads,
-            tasks=tasks,
-            per_pe_cycles=per_pe,
-            extras={
-                "noc_queue_cycles": self.memsys.noc.stats.queue_cycles,
-                "dram_queue_cycles": self.memsys.dram.stats.queue_cycles,
-                "dram_row_hit_rate": self.memsys.dram.stats.row_hit_rate,
-            },
+        return build_report(
+            self.pes, self.memsys, self.config, num_patterns, makespan
         )
 
 

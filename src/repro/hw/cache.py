@@ -113,6 +113,95 @@ class SetAssocCache:
                 missed.append(int(line))
         return hits, missed
 
+    # ------------------------------------------------------------------
+    # Batch kernels (FlexMinerConfig.timing_kernels path)
+    # ------------------------------------------------------------------
+    def access_range_batch(self, base: int, size: int) -> Tuple[int, List[int]]:
+        """Batch form of :meth:`access_range`.
+
+        Decision-identical — same hits, misses, evictions, LRU ticks and
+        missed-line order — with the per-line dispatch overhead (method
+        calls, array materialization, scalar casts) hoisted out of the
+        loop.
+        """
+        if size <= 0:
+            return 0, []
+        first = base // self.line_bytes
+        last = (base + size - 1) // self.line_bytes
+        if first == last:
+            # Single-line ranges dominate the touch stream; skip the
+            # loop setup entirely.
+            tick = self._tick + 1
+            self._tick = tick
+            ways = self._sets[first % self.num_sets]
+            if first in ways:
+                ways[first] = tick
+                self.stats.hits += 1
+                return 1, []
+            self.stats.misses += 1
+            if len(ways) >= self.assoc:
+                del ways[min(ways, key=ways.get)]
+                self.stats.evictions += 1
+            ways[first] = tick
+            return 0, [first]
+        tick = self._tick
+        sets = self._sets
+        num_sets = self.num_sets
+        assoc = self.assoc
+        hits = 0
+        evictions = 0
+        missed: List[int] = []
+        append = missed.append
+        for line in range(first, last + 1):
+            tick += 1
+            ways = sets[line % num_sets]
+            if line in ways:
+                ways[line] = tick
+                hits += 1
+            else:
+                if len(ways) >= assoc:
+                    del ways[min(ways, key=ways.get)]
+                    evictions += 1
+                ways[line] = tick
+                append(line)
+        self._tick = tick
+        self.stats.hits += hits
+        self.stats.misses += last - first + 1 - hits
+        self.stats.evictions += evictions
+        return hits, missed
+
+    def access_lines_batch(self, lines: Iterable[int]) -> List[bool]:
+        """Touch an explicit line sequence; per-line hit flags in order.
+
+        Same state transitions as calling :meth:`access_line` per line.
+        """
+        tick = self._tick
+        sets = self._sets
+        num_sets = self.num_sets
+        assoc = self.assoc
+        hits = 0
+        evictions = 0
+        flags: List[bool] = []
+        append = flags.append
+        for line in lines:
+            tick += 1
+            ways = sets[line % num_sets]
+            if line in ways:
+                ways[line] = tick
+                hits += 1
+                append(True)
+            else:
+                if len(ways) >= assoc:
+                    del ways[min(ways, key=ways.get)]
+                    evictions += 1
+                ways[line] = tick
+                append(False)
+        self._tick = tick
+        self.stats.hits += hits
+        self.stats.misses += len(flags) - hits
+        self.stats.evictions += evictions
+        return flags
+
     def contains(self, line: int) -> bool:
         return line in self._sets[line % self.num_sets]
 

@@ -19,10 +19,23 @@ compiler's dynamic footprint estimation and the overflow fall-back of
   load factor, divided by the bank width.  Orders of magnitude faster
   with the same first-order behaviour ("most accesses take only a single
   cycle" below 75 % occupancy).
+
+The analytic mode itself has two implementations selected by
+``kernels``:
+
+* ``kernels=False`` — the legacy per-key Python loop (the reference
+  path kept alive by ``FlexMinerConfig.timing_kernels=False``);
+* ``kernels=True`` (default) — vectorized batch accounting: values live
+  in a dense numpy array indexed by vertex id and a whole level's probe
+  cycles come from one closed-form pass (exclusive-cumsum occupancy into
+  the expected-probe formula).  Because the per-key formula is evaluated
+  elementwise in the same IEEE-754 order, the cycle counts — and every
+  statistic — are bit-identical to the legacy loop.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -97,6 +110,7 @@ class HardwareCMap:
         occupancy_threshold: float = 0.75,
         exact: bool = False,
         value_bits: int = 8,
+        kernels: bool = True,
     ) -> None:
         if capacity_entries < 1:
             raise SimulationError("c-map needs at least one entry")
@@ -105,9 +119,16 @@ class HardwareCMap:
         self.threshold = occupancy_threshold
         self.exact = exact
         self.value_bits = value_bits
+        # Exact slot simulation is inherently per-key; the batch kernels
+        # only apply to the analytic probe model.
+        self.kernels = bool(kernels) and not exact
         self.stats = CMapStats()
-        # Functional state: key -> depth bitset.
+        # Functional state: key -> depth bitset.  The legacy path keeps
+        # a dict; the kernel path keeps a dense value array indexed by
+        # vertex id (grown on demand) plus an occupancy counter.
         self._table: Dict[int, int] = {}
+        self._values = np.zeros(0, dtype=np.uint32)
+        self._occupancy = 0
         # Per-depth stack of (depth, ids actually written) for cleanup.
         self._level_stack: List[Tuple[int, np.ndarray]] = []
         # Observability: set by attach_tracer; None means no emission.
@@ -155,11 +176,11 @@ class HardwareCMap:
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return len(self._table)
+        return self._occupancy if self.kernels else len(self._table)
 
     @property
     def load_factor(self) -> float:
-        return len(self._table) / self.capacity
+        return self.occupancy / self.capacity
 
     def fits(self, incoming: int) -> bool:
         """Dynamic footprint check before fetching the neighbor list.
@@ -168,7 +189,7 @@ class HardwareCMap:
         arrives, so it can reject an insertion that would push occupancy
         past the threshold — the trigger for the SIU/SDU fall-back.
         """
-        return (len(self._table) + incoming) <= self.threshold * self.capacity
+        return (self.occupancy + incoming) <= self.threshold * self.capacity
 
     @classmethod
     def from_config(cls, config: FlexMinerConfig) -> Optional["HardwareCMap"]:
@@ -180,6 +201,7 @@ class HardwareCMap:
             banks=config.cmap_banks,
             occupancy_threshold=config.cmap_occupancy_threshold,
             exact=config.cmap_exact,
+            kernels=config.timing_kernels,
         )
 
     # ------------------------------------------------------------------
@@ -204,19 +226,22 @@ class HardwareCMap:
             self._trace_overflow(depth, len(ids))
             return InsertOutcome(accepted=False, cycles=1)
 
-        cycles = 0
-        new_entries = 0
         bit = 1 << depth
-        for key in ids.tolist():
-            present = key in self._table
-            cycles += self._probe_cycles(key, insert=not present)
-            if present:
-                self._table[key] |= bit
-                self.stats.updates += 1
-            else:
-                self._table[key] = bit
-                self.stats.inserts += 1
-                new_entries += 1
+        if self.kernels:
+            cycles, new_entries = self._insert_kernel(ids, bit)
+        else:
+            cycles = 0
+            new_entries = 0
+            for key in ids.tolist():
+                present = key in self._table
+                cycles += self._probe_cycles(key, insert=not present)
+                if present:
+                    self._table[key] |= bit
+                    self.stats.updates += 1
+                else:
+                    self._table[key] = bit
+                    self.stats.inserts += 1
+                    new_entries += 1
         self.stats.insert_cycles += cycles
         self._level_stack.append((depth, ids))
         return InsertOutcome(
@@ -238,19 +263,24 @@ class HardwareCMap:
                 f"got {depth}"
             )
         bit = 1 << depth
-        cycles = 0
-        for key in ids.tolist():
-            if key not in self._table:
-                raise SimulationError("deleting a key that was never inserted")
-            cycles += self._probe_cycles(key, insert=False)
-            value = self._table[key] & ~bit
-            if value:
-                self._table[key] = value
-            else:
-                del self._table[key]
-                if self.exact:
-                    self._free_slot(key)
-            self.stats.deletes += 1
+        if self.kernels:
+            cycles = self._remove_kernel(ids, bit)
+        else:
+            cycles = 0
+            for key in ids.tolist():
+                if key not in self._table:
+                    raise SimulationError(
+                        "deleting a key that was never inserted"
+                    )
+                cycles += self._probe_cycles(key, insert=False)
+                value = self._table[key] & ~bit
+                if value:
+                    self._table[key] = value
+                else:
+                    del self._table[key]
+                    if self.exact:
+                        self._free_slot(key)
+                self.stats.deletes += 1
         self.stats.delete_cycles += cycles
         return cycles
 
@@ -258,22 +288,180 @@ class HardwareCMap:
         """Connectivity bitset for a vertex (0 when absent)."""
         self.stats.queries += 1
         self.stats.query_cycles += self._probe_cycles(key, insert=False)
+        if self.kernels:
+            return (
+                int(self._values[key]) if key < self._values.size else 0
+            )
         return self._table.get(key, 0)
 
     def query_batch(self, n: int) -> int:
         """Cycle cost of n pipelined queries (values come from the
         functional engine; only timing is needed)."""
         self.stats.queries += n
-        cycles = int(np.ceil(n * self._expected_probe_groups()))
+        cycles = math.ceil(n * self._expected_probe_groups())
         self.stats.query_cycles += cycles
         return cycles
 
     def reset(self) -> None:
         """Invalidate everything (end of task, paper §VI)."""
-        self._table.clear()
+        if self.kernels:
+            # Only keys named by outstanding levels can be live, so a
+            # stack walk clears the dense array without a full zero.
+            for _, ids in self._level_stack:
+                if len(ids):
+                    self._values[ids] = 0
+            self._occupancy = 0
+        else:
+            self._table.clear()
         self._level_stack.clear()
         if self.exact:
             self._slots.fill(-1)
+
+    # ------------------------------------------------------------------
+    # Vectorized batch kernels (kernels=True)
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, max_key: int) -> None:
+        if max_key < self._values.size:
+            return
+        grown = np.zeros(
+            max(2 * self._values.size, max_key + 1), dtype=np.uint32
+        )
+        grown[: self._values.size] = self._values
+        self._values = grown
+
+    def _batch_cycles(self, occupancies: np.ndarray) -> int:
+        """Probe cycles for a batch, one closed-form pass.
+
+        ``occupancies[i]`` is the occupancy the i-th access observes.
+        Elementwise this is exactly ``_probe_cycles``: same divisions,
+        same clamp, same ceil — so the sum is bit-identical to the
+        legacy per-key loop.
+        """
+        rho = np.minimum(occupancies / self.capacity, 0.95)
+        probes = 0.5 * (1.0 + 1.0 / (1.0 - rho))
+        groups = np.maximum(1.0, probes / self.banks)
+        return int(np.ceil(groups).astype(np.int64).sum())
+
+    #: Below this batch length the numpy fixed costs (fancy indexing,
+    #: cumsum, temporaries) exceed the per-key loop they replace; short
+    #: batches run a scalar pass over the same dense array with the same
+    #: per-key formula, so the cycle counts are identical either way.
+    VECTOR_MIN = 24
+
+    def _insert_scalar(self, keys: List[int], bit: int) -> Tuple[int, int]:
+        values = self._values
+        size = values.size
+        capacity = self.capacity
+        banks = self.banks
+        occupancy = self._occupancy
+        cycles = 0
+        new_entries = 0
+        for key in keys:
+            if key < 0:
+                raise SimulationError("c-map keys must be non-negative ids")
+            if key >= size:
+                self._ensure_capacity(key)
+                values = self._values
+                size = values.size
+            # Inline _probe_cycles at the occupancy this key observes.
+            rho = occupancy / capacity
+            if rho > 0.95:
+                rho = 0.95
+            groups = 0.5 * (1.0 + 1.0 / (1.0 - rho)) / banks
+            if groups < 1.0:
+                groups = 1.0
+            cycles += math.ceil(groups)
+            value = values.item(key)
+            if value:
+                values[key] = value | bit
+            else:
+                values[key] = bit
+                occupancy += 1
+                new_entries += 1
+        self._occupancy = occupancy
+        self.stats.inserts += new_entries
+        self.stats.updates += len(keys) - new_entries
+        return cycles, new_entries
+
+    def _insert_kernel(self, ids: np.ndarray, bit: int) -> Tuple[int, int]:
+        n = len(ids)
+        if n == 0:
+            return 0, 0
+        if n < self.VECTOR_MIN or not bool(np.all(ids[1:] > ids[:-1])):
+            # Short, duplicate-carrying, or unsorted batches: the scalar
+            # pass replays the legacy per-key semantics over the dense
+            # array (a key's observed occupancy depends on earlier keys
+            # in the same batch).
+            return self._insert_scalar(ids.tolist(), bit)
+        if int(ids[0]) < 0:
+            raise SimulationError("c-map keys must be non-negative ids")
+        self._ensure_capacity(int(ids[-1]))
+        values = self._values
+        vals = values[ids]
+        new = vals == 0
+        new_entries = int(new.sum())
+        # Occupancy observed by the i-th key: entries present before the
+        # batch plus the new entries earlier keys created (exclusive
+        # cumulative sum) — the "compute the statistics once per batch"
+        # form of the legacy per-key re-derivation.
+        steps = np.cumsum(new)
+        cycles = self._batch_cycles(self._occupancy + steps - new)
+        values[ids] = vals | np.uint32(bit)
+        self._occupancy += new_entries
+        self.stats.inserts += new_entries
+        self.stats.updates += n - new_entries
+        return cycles, new_entries
+
+    def _remove_scalar(self, keys: List[int], bit: int) -> int:
+        values = self._values
+        capacity = self.capacity
+        banks = self.banks
+        occupancy = self._occupancy
+        cycles = 0
+        mask = ~bit
+        for i, key in enumerate(keys):
+            value = values.item(key)
+            if value == 0:
+                # Mirror the legacy mid-loop raise: earlier keys stay
+                # deleted and counted, the failing key charges nothing.
+                self._occupancy = occupancy
+                self.stats.deletes += i
+                raise SimulationError(
+                    "deleting a key that was never inserted"
+                )
+            rho = occupancy / capacity
+            if rho > 0.95:
+                rho = 0.95
+            groups = 0.5 * (1.0 + 1.0 / (1.0 - rho)) / banks
+            if groups < 1.0:
+                groups = 1.0
+            cycles += math.ceil(groups)
+            value &= mask
+            values[key] = value
+            if value == 0:
+                occupancy -= 1
+        self._occupancy = occupancy
+        self.stats.deletes += len(keys)
+        return cycles
+
+    def _remove_kernel(self, ids: np.ndarray, bit: int) -> int:
+        n = len(ids)
+        if n == 0:
+            return 0
+        if n < self.VECTOR_MIN or not bool(np.all(ids[1:] > ids[:-1])):
+            return self._remove_scalar(ids.tolist(), bit)
+        values = self._values
+        vals = values[ids]
+        if bool(np.any(vals == 0)):
+            raise SimulationError("deleting a key that was never inserted")
+        remaining = vals & np.uint32(~bit & 0xFFFFFFFF)
+        removed = remaining == 0
+        steps = np.cumsum(removed)
+        cycles = self._batch_cycles(self._occupancy - (steps - removed))
+        values[ids] = remaining
+        self._occupancy -= int(removed.sum())
+        self.stats.deletes += n
+        return cycles
 
     # ------------------------------------------------------------------
     # Probe timing
@@ -284,13 +472,13 @@ class HardwareCMap:
         Linear probing expected probes ~ (1 + 1/(1-rho)) / 2; the m-way
         banking probes m successive slots per cycle.
         """
-        rho = min((len(self._table) + extra) / self.capacity, 0.95)
+        rho = min((self.occupancy + extra) / self.capacity, 0.95)
         probes = 0.5 * (1.0 + 1.0 / (1.0 - rho))
         return max(1.0, probes / self.banks)
 
     def _probe_cycles(self, key: int, *, insert: bool) -> int:
         if not self.exact:
-            return int(np.ceil(self._expected_probe_groups()))
+            return math.ceil(self._expected_probe_groups())
         # Exact banked linear probing over simulated slots.
         start = key % self.capacity
         for distance in range(self.capacity):

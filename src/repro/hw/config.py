@@ -80,6 +80,13 @@ class FlexMinerConfig:
     cmap_occupancy_threshold: float = 0.75
     #: Exact (per-entry) linear-probe simulation vs analytic probe costs.
     cmap_exact: bool = False
+    #: Vectorized timing kernels: batch the per-element cycle accounting
+    #: (c-map insert/delete probe math, cache line walks, NoC/DRAM line
+    #: batches) with numpy.  Bit-identical to the legacy per-element
+    #: loops — ``False`` keeps the original reference path for parity
+    #: checks and the BENCH_sim baseline.  ``cmap_exact=True`` always
+    #: simulates slots individually regardless of this switch.
+    timing_kernels: bool = True
     dram: DramConfig = field(default_factory=DramConfig)
     noc: NocConfig = field(default_factory=NocConfig)
     #: Scheduler task-dispatch latency (NoC message to an idle PE).

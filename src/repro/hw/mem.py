@@ -115,16 +115,58 @@ class MemorySystem:
             self._trace is not None
             and self.l2.stats.accesses % self._sample_every == 0
         ):
-            from ..obs.trace import SIM_PID
-
-            self._trace.counter(
-                "l2",
-                now,
-                {
-                    "hits": self.l2.stats.hits,
-                    "misses": self.l2.stats.misses,
-                    "hit_rate": self.l2.stats.hit_rate,
-                },
-                pid=SIM_PID,
-            )
+            self._emit_l2_sample(now)
         return finish - now
+
+    def fetch_lines_batch(
+        self, pe_id: int, lines: List[int], now: float
+    ) -> float:
+        """Batch form of :meth:`fetch_lines` (timing-kernels path).
+
+        The NoC latencies for the whole batch are computed in one pass
+        and the L2 lookups in another; because the NoC bucket, the L2
+        LRU state and the DRAM models are mutually independent, every
+        per-line latency — and every counter — is bit-identical to the
+        per-line reference loop.
+        """
+        count = len(lines)
+        if count < 4:
+            # Short batches: the hoisting overhead of the batch path
+            # exceeds the per-line dispatch it saves.
+            return self.fetch_lines(pe_id, lines, now)
+        line_bytes = self.config.line_bytes
+        gap = self.ISSUE_GAP
+        noc_latency = self.noc.batch_latency(
+            pe_id, line_bytes, now, gap, count
+        )
+        hit_flags = self.l2.access_lines_batch(lines)
+        l2_hit_cycles = self.config.l2_hit_cycles
+        frontier_line = FRONTIER_BASE // line_bytes
+        dram_access = self.dram.access
+        finish = now
+        for i in range(count):
+            issue = now + i * gap
+            latency = noc_latency[i] + l2_hit_cycles
+            if not hit_flags[i] and lines[i] < frontier_line:
+                latency += dram_access(lines[i], issue + latency)
+            finish = max(finish, issue + latency)
+        if (
+            self._trace is not None
+            and self.l2.stats.accesses % self._sample_every == 0
+        ):
+            self._emit_l2_sample(now)
+        return finish - now
+
+    def _emit_l2_sample(self, now: float) -> None:
+        from ..obs.trace import SIM_PID
+
+        self._trace.counter(
+            "l2",
+            now,
+            {
+                "hits": self.l2.stats.hits,
+                "misses": self.l2.stats.misses,
+                "hit_rate": self.l2.stats.hit_rate,
+            },
+            pid=SIM_PID,
+        )

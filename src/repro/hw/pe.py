@@ -90,6 +90,9 @@ class ProcessingElement(PatternAwareEngine):
         self.pe_id = pe_id
         self.config = config
         self.memsys = memsys
+        # Vectorized timing kernels (batch cache walks + batch fetch);
+        # bit-identical to the legacy per-element loops.
+        self._fast = config.timing_kernels
         self.time = 0.0
         self._overlap_credit = 0.0
         self.stats = PEStats()
@@ -173,11 +176,17 @@ class ProcessingElement(PatternAwareEngine):
         cycles charged since the previous fetch.  Only the uncovered
         remainder stalls the PE.
         """
-        _, missed = self.private.access_range(base, size)
+        if self._fast:
+            _, missed = self.private.access_range_batch(base, size)
+        else:
+            _, missed = self.private.access_range(base, size)
         if missed:
-            latency = self.memsys.fetch_lines(
-                self.pe_id, missed, self.time
+            fetch = (
+                self.memsys.fetch_lines_batch
+                if self._fast
+                else self.memsys.fetch_lines
             )
+            latency = fetch(self.pe_id, missed, self.time)
             stall = max(0.0, latency - self._overlap_credit)
             self._overlap_credit = 0.0
             self.time += stall
@@ -199,10 +208,16 @@ class ProcessingElement(PatternAwareEngine):
         self._frontier_ptr = (addr + size + line - 1) // line * line
         # Write-allocate without fetch: lines become resident; one store
         # cycle per line.
-        lines = self.private.lines_of_range(addr, size)
-        for ln in lines:
-            self.private.access_line(int(ln))
-        self._charge_busy(len(lines))
+        if self._fast:
+            self.private.access_range_batch(addr, size)
+            self._charge_busy(
+                (addr + size - 1) // line - addr // line + 1
+            )
+        else:
+            lines = self.private.lines_of_range(addr, size)
+            for ln in lines:
+                self.private.access_line(int(ln))
+            self._charge_busy(len(lines))
         self._frontier_table[depth] = (addr, size)
 
     def _load_adjacency_timed(self, v: int) -> np.ndarray:

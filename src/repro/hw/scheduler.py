@@ -14,8 +14,9 @@ end).
 from __future__ import annotations
 
 import heapq
-import math
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..graph import CSRGraph
 from .pe import ProcessingElement
@@ -48,16 +49,29 @@ class Scheduler:
         With ``split_degree`` set, roots whose degree exceeds it become
         several ``(vertex, chunk, total)`` sub-tasks, so one power-law
         hub cannot serialize the tail of the schedule.
+
+        Sorting runs over the cached ``graph.degrees()`` vector (one
+        lexsort) rather than one ``graph.degree(v)`` call per key.
         """
-        vertices = list(roots) if roots is not None else list(
-            graph.vertices()
-        )
-        ordered = sorted(vertices, key=lambda v: (-graph.degree(v), v))
+        degrees = graph.degrees()
+        if roots is None:
+            verts = np.arange(graph.num_vertices, dtype=np.int64)
+        else:
+            verts = np.asarray(list(roots), dtype=np.int64)
+        if len(verts) == 0:
+            return []
+        degs = degrees[verts]
+        # Primary key descending degree, ties broken by vertex id —
+        # identical to sorted(key=lambda v: (-degree(v), v)).
+        order = np.lexsort((verts, -degs))
+        ordered = verts[order].tolist()
         if split_degree is None:
-            return list(ordered)
+            return ordered
+        pieces_per_root = np.maximum(
+            1, np.ceil(degs[order] / split_degree).astype(np.int64)
+        ).tolist()
         tasks: List[Task] = []
-        for v in ordered:
-            pieces = max(1, math.ceil(graph.degree(v) / split_degree))
+        for v, pieces in zip(ordered, pieces_per_root):
             if pieces == 1:
                 tasks.append(v)
             else:

@@ -5,14 +5,17 @@ The repository produces a pattern count five independent ways — serial
 or off, probe kernels forced on), the frozen pre-kernel
 :class:`~repro.bench.enginebench.LegacyEngine`, the multi-process
 :class:`~repro.engine.parallel.ParallelMiner`, and the cycle-level
-FlexMiner simulator.  The differential runner executes a (graph,
-pattern) case through all of them, compares every per-pattern count
-against the compiler-independent :mod:`~repro.verify.oracle`, and
-checks the **zero-drift op-counter invariant**: with chunking off, each
-engine-side backend must report *bit-identical*
-:class:`~repro.engine.counters.OpCounters` — the count-only leaf path,
-the probe kernels, the legacy set ops, and the parallel merge all claim
-exact accounting parity, so any drift is a bug even when counts agree.
+FlexMiner simulator — the latter in three timing flavors: legacy
+per-element loops, vectorized kernels, and the trace/replay parallel
+runner at several worker counts.  The differential runner executes a
+(graph, pattern) case through all of them, compares every per-pattern
+count against the compiler-independent :mod:`~repro.verify.oracle`, and
+checks two drift invariants: the **zero-drift op-counter invariant**
+(with chunking off, each engine-side backend must report
+*bit-identical* :class:`~repro.engine.counters.OpCounters`) and the
+**bit-identical SimReport invariant** (every simulator flavor must
+produce the exact same cycles, per-PE stats and cache/NoC/DRAM
+counters as the legacy-kernel reference).
 
 Mismatches come back as structured :class:`Mismatch` records and are
 exported through :mod:`repro.obs` (``make_report("verify", ...)``
@@ -33,6 +36,8 @@ from .oracle import oracle_count
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKENDS",
+    "SIM_DRIFT_BACKENDS",
+    "ZERO_DRIFT_BACKENDS",
     "DifferentialReport",
     "Mismatch",
     "VerifyCase",
@@ -120,7 +125,9 @@ class Mismatch:
 
     case: str
     backend: str
-    kind: str  #: "count" | "counter-drift" | "oracle-expected" | "error"
+    #: "count" | "counter-drift" | "sim-report-drift" | "oracle-expected"
+    #: | "error"
+    kind: str
     expected: object = None
     actual: object = None
     detail: str = ""
@@ -220,11 +227,49 @@ def _parallel(workers: int) -> Backend:
     return run
 
 
+class _SimReportCounters:
+    """Adapter exposing a full :class:`~repro.hw.report.SimReport` dict
+    through the backend counter protocol, so the sim-family drift check
+    can assert *bit-identical reports* (cycles, per-PE stats, cache/NoC/
+    DRAM counters) and not just match counts."""
+
+    def __init__(self, report) -> None:
+        self._payload = report.as_dict()
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._payload)
+
+
 def _sim(case: VerifyCase, plan):
+    """The legacy-kernel serial simulator: the timing reference."""
     from ..hw import FlexMinerConfig, simulate
 
-    report = simulate(case.graph, plan, FlexMinerConfig.small())
-    return tuple(report.counts), None
+    config = FlexMinerConfig.small(timing_kernels=False)
+    report = simulate(case.graph, plan, config)
+    return tuple(report.counts), _SimReportCounters(report)
+
+
+def _sim_fast(case: VerifyCase, plan):
+    """Vectorized timing kernels (the default simulator path)."""
+    from ..hw import FlexMinerConfig, simulate
+
+    config = FlexMinerConfig.small(timing_kernels=True)
+    report = simulate(case.graph, plan, config)
+    return tuple(report.counts), _SimReportCounters(report)
+
+
+def _sim_parallel(workers: int) -> Backend:
+    def run(case: VerifyCase, plan):
+        from ..hw import FlexMinerConfig
+        from ..hw.parallel_sim import simulate_parallel
+
+        config = FlexMinerConfig.small(timing_kernels=True)
+        report = simulate_parallel(
+            case.graph, plan, config, workers=workers
+        )
+        return tuple(report.counts), _SimReportCounters(report)
+
+    return run
 
 
 #: The full backend matrix, in reporting order.
@@ -238,13 +283,17 @@ BACKENDS: Dict[str, Backend] = {
     "parallel-2": _parallel(2),
     "parallel-4": _parallel(4),
     "sim": _sim,
+    "sim-fast": _sim_fast,
+    "sim-parallel-1": _sim_parallel(1),
+    "sim-parallel-2": _sim_parallel(2),
+    "sim-parallel-4": _sim_parallel(4),
 }
 
 DEFAULT_BACKENDS: Tuple[str, ...] = tuple(BACKENDS)
 
 #: Backends whose OpCounters must be bit-identical to ``serial``'s.
 #: ``no-memo`` recomputes frontier lists (different op chain by design)
-#: so it is excluded; the simulator has no OpCounters at all.
+#: so it is excluded; the simulator backends have their own drift set.
 ZERO_DRIFT_BACKENDS: Tuple[str, ...] = (
     "serial",
     "materialize",
@@ -253,6 +302,17 @@ ZERO_DRIFT_BACKENDS: Tuple[str, ...] = (
     "parallel-1",
     "parallel-2",
     "parallel-4",
+)
+
+#: Simulator backends whose *entire SimReport* must be bit-identical to
+#: ``sim``'s (the legacy-kernel reference): the vectorized kernels and
+#: the trace/replay parallel runner both claim exact timing parity.
+SIM_DRIFT_BACKENDS: Tuple[str, ...] = (
+    "sim",
+    "sim-fast",
+    "sim-parallel-1",
+    "sim-parallel-2",
+    "sim-parallel-4",
 )
 
 
@@ -377,6 +437,30 @@ def run_case(
                     expected={k: ref[k] for k in diff_keys},
                     actual={k: got.get(k) for k in diff_keys},
                     detail=f"drift vs {drift_ref_name} on {diff_keys}",
+                )
+            )
+
+    # -- bit-identical SimReport invariant ------------------------------
+    sim_ref_name = next(
+        (b for b in SIM_DRIFT_BACKENDS if b in counters), None
+    )
+    if sim_ref_name is not None:
+        ref = counters[sim_ref_name]
+        for backend_name in SIM_DRIFT_BACKENDS:
+            got = counters.get(backend_name)
+            if got is None or got == ref:
+                continue
+            diff_keys = sorted(
+                k for k in ref if ref[k] != got.get(k)
+            )
+            report.mismatches.append(
+                Mismatch(
+                    name,
+                    backend_name,
+                    "sim-report-drift",
+                    expected={k: ref[k] for k in diff_keys},
+                    actual={k: got.get(k) for k in diff_keys},
+                    detail=f"drift vs {sim_ref_name} on {diff_keys}",
                 )
             )
 

@@ -116,6 +116,48 @@ class TestHarness:
         harness = Harness()
         assert harness.plan("TC") is harness.plan("TC")
 
+    def test_sim_parallel_is_bit_identical_and_shares_cache(self):
+        serial = Harness().sim("TC", "As", num_pes=4, cmap_bytes=0)
+        harness = Harness()
+        parallel = harness.sim(
+            "TC", "As", num_pes=4, cmap_bytes=0, parallel=2
+        )
+        assert parallel.as_dict() == serial.as_dict()
+        # Bit-identical, so the cache key ignores the parallel knob.
+        assert harness.sim("TC", "As", num_pes=4, cmap_bytes=0) is parallel
+
+    def test_sim_many_matches_per_cell_sim(self):
+        cells = [
+            ("TC", "As", 4, 0),
+            ("4-CL", "As", 4, 0),
+            ("TC", "As", 4, 0),  # duplicate: one run, same object
+        ]
+        harness = Harness()
+        reports = harness.sim_many(cells, workers=2)
+        assert set(reports) == {("TC", "As", 4, 0), ("4-CL", "As", 4, 0)}
+        fresh = Harness()
+        for key, report in reports.items():
+            app, dataset, num_pes, cmap_bytes = key
+            expected = fresh.sim(
+                app, dataset, num_pes=num_pes, cmap_bytes=cmap_bytes
+            )
+            assert report.as_dict() == expected.as_dict()
+        # Pool results land in the memo cache.
+        assert harness.sim("TC", "As", num_pes=4, cmap_bytes=0) is (
+            reports[("TC", "As", 4, 0)]
+        )
+
+    def test_sim_wall_clock_gauges(self):
+        harness = Harness()
+        harness.sim("TC", "As", num_pes=4, cmap_bytes=0)
+        snap = harness.metrics.snapshot()
+        assert snap["sim.wall_s"] > 0
+        assert snap["sim.cells_per_s"] > 0
+        # Cache hits don't re-accumulate wall clock.
+        wall = snap["sim.wall_s"]
+        harness.sim("TC", "As", num_pes=4, cmap_bytes=0)
+        assert harness.metrics.snapshot()["sim.wall_s"] == wall
+
 
 class TestHelpers:
     def test_geometric_mean(self):

@@ -97,6 +97,42 @@ class TestMineParallel:
         assert report["meta"]["workers"] == 2
 
 
+class TestSimParallel:
+    def test_workers_flag_matches_serial(self, capsys):
+        assert main(
+            ["sim", "triangle", "--dataset", "As", "--pes", "4"]
+        ) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["sim", "triangle", "--dataset", "As", "--pes", "4",
+             "--workers", "2"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+        # Bit-identical contract: the rendered summary (cycles, cache
+        # rates, all counters) is byte-for-byte the serial one.
+        assert parallel_out == serial_out
+
+    def test_workers_json_report_records_workers(self, capsys):
+        import json as jsonlib
+
+        assert main(
+            ["sim", "triangle", "--dataset", "As", "--pes", "2",
+             "--workers", "2", "--emit-json"]
+        ) == 0
+        report = jsonlib.loads(capsys.readouterr().out)
+        assert report["meta"]["workers"] == 2
+
+    def test_trace_forces_serial(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(
+            ["sim", "triangle", "--dataset", "As", "--pes", "2",
+             "--workers", "2", "--trace", str(trace)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "running serial" in err
+        assert trace.exists()
+
+
 class TestVerify:
     def test_smoke_ok(self, capsys):
         assert main(

@@ -15,7 +15,7 @@ from repro.graph import load_dataset
 from repro.hw import FlexMinerConfig, SimReport, simulate
 from repro.obs import MetricsRegistry, Tracer, validate_trace
 from repro.obs.trace import SIM_PID
-from repro.patterns import triangle
+from repro.patterns import four_cycle, triangle
 
 
 def _zero_report(**overrides):
@@ -110,6 +110,34 @@ class TestNoDrift:
         assert traced.cycles == plain.cycles
         assert len(tracer) > 0
         assert metrics.snapshot()["sim.cycles"] == plain.cycles
+
+    def test_cmap_overflow_instants_identical_across_timing_kernels(
+        self, graph
+    ):
+        # The batched c-map kernels compute occupancy/probe statistics
+        # once per insert instead of per key; the rare-incident trace
+        # instants (overflows) must still fire at the same cycle
+        # timestamps with the same payloads as the legacy loops.
+        plan = compile_pattern(four_cycle())
+        configs = {
+            kernels: FlexMinerConfig(
+                num_pes=2, cmap_bytes=64, timing_kernels=kernels
+            )
+            for kernels in (False, True)
+        }
+        events = {}
+        reports = {}
+        for kernels, config in configs.items():
+            tracer = Tracer()
+            reports[kernels] = simulate(graph, plan, config, tracer=tracer)
+            events[kernels] = [
+                (e["ts"], e["args"])
+                for e in tracer.events()
+                if e["name"] == "cmap-overflow"
+            ]
+        assert events[True], "workload never overflowed the tiny c-map"
+        assert events[True] == events[False]
+        assert reports[True].as_dict() == reports[False].as_dict()
 
     def test_engine_identical_with_and_without_tracer(self, graph, plan):
         plain = PatternAwareEngine(graph, plan).run()

@@ -99,3 +99,42 @@ class TestSimulatorSplitting:
                 compile_motifs(3),
                 FlexMinerConfig(num_pes=2, task_split_degree=4),
             )
+
+    @pytest.mark.parametrize("kernels", [False, True], ids=["legacy", "fast"])
+    def test_split_schedule_parity(self, kernels):
+        # Chunked-task parity contract: the split schedule must mine
+        # the exact same matches, and its task total must equal the
+        # scheduler's (root, chunk) enumeration — no task dropped,
+        # duplicated, or double-counted on either timing path.
+        plan = compile_pattern(four_cycle())
+        base_cfg = FlexMinerConfig(num_pes=4, timing_kernels=kernels)
+        split_cfg = FlexMinerConfig(
+            num_pes=4, task_split_degree=4, timing_kernels=kernels
+        )
+        base = simulate(GRAPH, plan, base_cfg)
+        split = simulate(GRAPH, plan, split_cfg)
+
+        from repro.graph import orient_by_degree
+
+        work = orient_by_degree(GRAPH) if plan.oriented else GRAPH
+        assert split.counts == base.counts
+        assert base.tasks == len(Scheduler.order_tasks(work))
+        assert split.tasks == len(
+            Scheduler.order_tasks(work, split_degree=4)
+        )
+
+    def test_split_schedule_parity_parallel_runner(self):
+        # The parallel runner replays the same chunked schedule: match
+        # counts and task totals stay identical at every worker count.
+        from repro.hw import simulate_parallel
+
+        plan = compile_pattern(four_cycle())
+        config = FlexMinerConfig(num_pes=4, task_split_degree=4)
+        serial = simulate(GRAPH, plan, config)
+        for workers in (1, 2):
+            parallel = simulate_parallel(
+                GRAPH, plan, config, workers=workers
+            )
+            assert parallel.counts == serial.counts
+            assert parallel.tasks == serial.tasks
+            assert parallel.as_dict() == serial.as_dict()

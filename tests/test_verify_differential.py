@@ -19,7 +19,7 @@ from repro.verify import (
     resolve_backends,
     run_case,
 )
-from repro.verify.differential import ZERO_DRIFT_BACKENDS
+from repro.verify.differential import SIM_DRIFT_BACKENDS, ZERO_DRIFT_BACKENDS
 
 
 def small_graph(seed=0):
@@ -112,6 +112,39 @@ class TestMismatchDetection:
         drift = [m for m in report.mismatches if m.kind == "counter-drift"]
         assert drift and drift[0].backend == "legacy"
         assert "set_intersections" in str(drift[0])
+        assert not [m for m in report.mismatches if m.kind == "count"]
+
+    def test_sim_report_drift_detected(self):
+        # A sim flavor whose counts are right but whose timing model
+        # drifted by a single cycle must be flagged as
+        # sim-report-drift, not pass on count parity alone.
+        class DriftedReport:
+            def __init__(self, base):
+                self._d = dict(base)
+                self._d["cycles"] = self._d["cycles"] + 1.0
+
+            def as_dict(self):
+                return dict(self._d)
+
+        def drifted_sim(case, plan):
+            counts, report = BACKENDS["sim"](case, plan)
+            return counts, DriftedReport(report.as_dict())
+
+        # The injected name must be one the sim-drift invariant covers.
+        assert "sim-fast" in SIM_DRIFT_BACKENDS
+        report = run_case(
+            VerifyCase(graph=small_graph(), pattern=triangle()),
+            backends={
+                "serial": BACKENDS["serial"],
+                "sim": BACKENDS["sim"],
+                "sim-fast": drifted_sim,
+            },
+        )
+        drift = [
+            m for m in report.mismatches if m.kind == "sim-report-drift"
+        ]
+        assert drift and drift[0].backend == "sim-fast"
+        assert "cycles" in str(drift[0])
         assert not [m for m in report.mismatches if m.kind == "count"]
 
     def test_error_backend_reported(self):

@@ -7,7 +7,7 @@
 * c-map banking factor.
 """
 
-from repro.bench import cpu_time_seconds, get_harness
+from repro.bench import cpu_time_seconds
 from repro.compiler import (
     compile_pattern,
     enumerate_matching_orders,

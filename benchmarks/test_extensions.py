@@ -7,7 +7,6 @@
 * the software vector c-map (§II-C cites an average 2.3x for k-CL).
 """
 
-import pytest
 
 from repro.bench import cpu_time_seconds, get_harness
 from repro.compiler import compile_motifs, compile_pattern

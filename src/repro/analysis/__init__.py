@@ -1,0 +1,52 @@
+"""Static analysis: plan verifier (FM1xx) + determinism lint (FM2xx).
+
+Two passes share one diagnostics core:
+
+* :mod:`repro.analysis.plancheck` proves execution-plan invariants
+  (connectivity, symmetry soundness/completeness against the
+  automorphism group, injectivity-skip and hint legality) before a plan
+  ever runs — ``flexminer check-plan``;
+* :mod:`repro.analysis.fmlint` enforces the determinism conventions the
+  bit-identical parallel/simulator guarantees rest on — ``flexminer
+  lint``.
+
+Both emit catalogued :class:`~repro.analysis.diagnostics.Diagnostic`
+records rendered as text or ``flexminer.run/1`` JSON via
+:mod:`repro.obs`.
+"""
+
+from .diagnostics import (
+    CATALOG,
+    SEVERITIES,
+    AnalysisReport,
+    CodeInfo,
+    Diagnostic,
+    merge_reports,
+    register_code,
+)
+from .plancheck import check_multi_plan, check_plan, plan_shape
+from .fmlint import (
+    DEFAULT_RULES,
+    LintRule,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "CATALOG",
+    "SEVERITIES",
+    "AnalysisReport",
+    "CodeInfo",
+    "Diagnostic",
+    "merge_reports",
+    "register_code",
+    "check_plan",
+    "check_multi_plan",
+    "plan_shape",
+    "DEFAULT_RULES",
+    "LintRule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,218 @@
+"""Shared diagnostics core for the static-analysis passes.
+
+Both analysis passes — the plan verifier (:mod:`repro.analysis.plancheck`,
+``FM1xx`` codes) and the determinism lint (:mod:`repro.analysis.fmlint`,
+``FM2xx`` codes) — report through the same vocabulary: a
+:class:`Diagnostic` carries a catalogued error code, a severity, a
+human message, a machine-checkable location, and a fix hint; an
+:class:`AnalysisReport` aggregates them per subject and renders either
+pretty text or a ``flexminer.run/1`` JSON envelope via :mod:`repro.obs`.
+
+Every code must be registered in :data:`CATALOG` before use — this keeps
+the docs/static-analysis.md error-code catalogue honest (it is generated
+from the same table) and makes an unknown code a programming error, not
+a silently-invented diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..obs import make_report
+
+__all__ = [
+    "CATALOG",
+    "SEVERITIES",
+    "AnalysisReport",
+    "CodeInfo",
+    "Diagnostic",
+    "register_code",
+]
+
+#: Valid severities, in increasing order of seriousness.
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalogue entry for one diagnostic code."""
+
+    code: str
+    title: str
+    default_severity: str
+    hint: str = ""
+
+
+#: The full code catalogue; ``FM1xx`` = plan verifier, ``FM2xx`` = lint.
+CATALOG: Dict[str, CodeInfo] = {}
+
+
+def register_code(
+    code: str, title: str, severity: str = "error", hint: str = ""
+) -> str:
+    """Register a diagnostic code; returns it for assignment convenience."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+    if code in CATALOG:
+        raise ValueError(f"duplicate diagnostic code {code}")
+    CATALOG[code] = CodeInfo(
+        code=code, title=title, default_severity=severity, hint=hint
+    )
+    return code
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a static-analysis pass."""
+
+    code: str
+    message: str
+    #: Where: "step 3" / "symmetry" for plans, "path:line" for lint.
+    location: str = ""
+    #: Overrides the catalogue default when set.
+    severity: str = ""
+    #: Overrides the catalogue's generic fix hint when set.
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CATALOG:
+            raise ValueError(
+                f"diagnostic code {self.code!r} is not in the catalogue; "
+                "register it in repro.analysis.diagnostics first"
+            )
+        info = CATALOG[self.code]
+        if not self.severity:
+            object.__setattr__(self, "severity", info.default_severity)
+        elif self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if not self.hint and info.hint:
+            object.__setattr__(self, "hint", info.hint)
+
+    @property
+    def title(self) -> str:
+        return CATALOG[self.code].title
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "title": self.title,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        tail = f"  [fix: {self.hint}]" if self.hint else ""
+        return (
+            f"{self.code} {self.severity}{where}: {self.message}{tail}"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one analysis subject (a plan, a file tree)."""
+
+    subject: str
+    findings: List[Diagnostic] = field(default_factory=list)
+    #: Optional structured extras (e.g. the plan shape/cost summary).
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        location: str = "",
+        severity: str = "",
+        hint: str = "",
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code=code,
+            message=message,
+            location=location,
+            severity=severity,
+            hint=hint,
+        )
+        self.findings.append(diag)
+        return diag
+
+    def extend(self, findings: Iterable[Diagnostic]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity findings exist."""
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(d.code for d in self.findings)
+
+    def has(self, code: str) -> bool:
+        return code in self.codes()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [d.as_dict() for d in self.findings],
+            "data": dict(self.data),
+        }
+
+    def to_report(
+        self, *, meta: Optional[Mapping[str, object]] = None
+    ) -> Dict[str, object]:
+        """Wrap in the shared ``flexminer.run/1`` envelope."""
+        return make_report("analysis", self.as_dict(), meta=meta)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"== {self.subject} =="]
+        for diag in self.findings:
+            lines.append(f"  {diag}")
+        if not self.findings:
+            lines.append("  clean")
+        else:
+            lines.append(
+                f"  {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s)"
+            )
+        return "\n".join(lines)
+
+
+def merge_reports(
+    reports: Iterable[AnalysisReport], subject: str
+) -> AnalysisReport:
+    """Flatten several per-subject reports into one summary report."""
+    merged = AnalysisReport(subject=subject)
+    subjects = []
+    for rep in reports:
+        subjects.append(rep.subject)
+        for diag in rep.findings:
+            loc = diag.location or rep.subject
+            merged.findings.append(
+                Diagnostic(
+                    code=diag.code,
+                    message=diag.message,
+                    location=loc,
+                    severity=diag.severity,
+                    hint=diag.hint,
+                )
+            )
+    merged.data["subjects"] = subjects
+    return merged

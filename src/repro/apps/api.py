@@ -36,7 +36,7 @@ from ..engine import (
 from ..errors import ConfigError
 from ..graph import CSRGraph
 from ..hw import FlexMinerConfig, SimReport, simulate
-from ..patterns import Pattern, enumerate_motifs, k_clique, triangle
+from ..patterns import Pattern, enumerate_motifs, k_clique
 
 __all__ = [
     "triangle_count",

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from ..compiler.plan import ExecutionPlan, VertexStep
+from ..compiler.plan import ExecutionPlan
 from ..engine import OpCounters, PatternAwareEngine
 from ..graph import CSRGraph
 

@@ -8,10 +8,10 @@ paper-style output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..obs import get_logger
-from .cpumodel import CpuModelConfig, cpu_time_seconds
+from .cpumodel import cpu_time_seconds
 from .harness import (
     FIG13_CELLS,
     FIG14_CELLS,

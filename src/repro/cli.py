@@ -12,6 +12,9 @@ Examples::
     flexminer datasets                        # Table I for the suite
     flexminer verify --seed 0 --cases 50      # differential fuzz, all backends
     flexminer verify --corpus tests/corpus --cases 25 --report verify.json
+    flexminer check-plan 4-cycle plan.ir      # static plan verification
+    flexminer check-plan --corpus tests/corpus --json
+    flexminer lint src/repro --json           # determinism lint (FM2xx)
 """
 
 from __future__ import annotations
@@ -159,6 +162,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest random pattern size the fuzzer draws",
     )
 
+    check_p = sub.add_parser(
+        "check-plan",
+        help="statically verify execution plans (FM1xx diagnostics)",
+    )
+    check_p.add_argument(
+        "targets", nargs="*",
+        help="pattern names and/or IR plan files",
+    )
+    check_p.add_argument(
+        "--induced", action="store_true",
+        help="compile named patterns with vertex-induced semantics",
+    )
+    check_p.add_argument(
+        "--corpus", metavar="DIR",
+        help="also check the compiled plan of every corpus case",
+    )
+    check_p.add_argument(
+        "--json", action="store_true",
+        help="emit a flexminer.run/1 JSON report instead of text",
+    )
+    check_p.add_argument("--pes", type=int, default=64)
+    check_p.add_argument(
+        "--cmap-kb", type=int, default=8,
+        help="c-map size the capacity checks assume",
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism lint over python sources (FM2xx diagnostics)",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the repro package)",
+    )
+    lint_p.add_argument(
+        "--json", action="store_true",
+        help="emit a flexminer.run/1 JSON report instead of text",
+    )
+
     estimate_p = sub.add_parser(
         "estimate", help="per-level search-tree size estimates"
     )
@@ -207,6 +249,102 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = validate_plan(plan, trials=args.trials)
         print(result.message())
         return 0 if result else 1
+
+    if args.command == "check-plan":
+        import os
+
+        from .analysis import check_multi_plan, check_plan, merge_reports
+        from .compiler import MultiPlan, parse_ir
+
+        if not args.targets and not args.corpus:
+            print(
+                "check-plan: give pattern names, IR files, or --corpus",
+                file=sys.stderr,
+            )
+            return 2
+        config = FlexMinerConfig(
+            num_pes=args.pes, cmap_bytes=args.cmap_kb * 1024
+        )
+        reports = []
+        for target in args.targets:
+            if os.path.exists(target):
+                with open(target) as f:
+                    plan = parse_ir(f.read())
+            else:
+                try:
+                    pattern = from_name(target)
+                except Exception as exc:
+                    print(
+                        f"check-plan: {target!r} is neither a file nor "
+                        f"a known pattern ({exc})",
+                        file=sys.stderr,
+                    )
+                    return 2
+                plan = compile_pattern(pattern, induced=args.induced)
+            reports.append(check_plan(plan, config=config))
+        if args.corpus:
+            from .verify import load_corpus
+
+            try:
+                cases = load_corpus(args.corpus)
+            except FileNotFoundError as exc:
+                print(f"check-plan: {exc}", file=sys.stderr)
+                return 2
+            for path, case in cases:
+                compiled = case.compile()
+                if isinstance(compiled, MultiPlan):
+                    rep = check_multi_plan(compiled)
+                else:
+                    rep = check_plan(compiled, config=config)
+                rep.subject = f"{path} ({rep.subject})"
+                reports.append(rep)
+        merged = merge_reports(reports, subject="check-plan")
+        if args.json:
+            print(json.dumps(
+                merged.to_report(meta={"version": __version__}),
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for rep in reports:
+                print(rep.render())
+            print(
+                f"check-plan: {len(reports)} plan(s), "
+                f"{len(merged.errors)} error(s), "
+                f"{len(merged.warnings)} warning(s)"
+            )
+        return 0 if merged.ok else 1
+
+    if args.command == "lint":
+        import os
+
+        from .analysis import lint_paths
+
+        paths = args.paths or []
+        if not paths:
+            # Default to the live package tree: src/repro when run from
+            # a checkout, the installed package directory otherwise.
+            default = os.path.join("src", "repro")
+            paths = [
+                default
+                if os.path.isdir(default)
+                else os.path.dirname(os.path.abspath(__file__))
+            ]
+        missing = [p for p in paths if not os.path.exists(p)]
+        if missing:
+            print(
+                f"lint: no such file or directory: {missing}",
+                file=sys.stderr,
+            )
+            return 2
+        rep = lint_paths(paths)
+        if args.json:
+            print(json.dumps(
+                rep.to_report(meta={"version": __version__}),
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(rep.render())
+        return 0 if rep.ok else 1
 
     if args.command == "verify":
         from .obs import write_report

@@ -30,8 +30,8 @@ import numpy as np
 
 from ..graph import CSRGraph
 from ..patterns import Pattern
-from .matching_order import enumerate_matching_orders, score_matching_order
-from .plan import ExecutionPlan
+from .matching_order import enumerate_matching_orders
+from .plan import ExecutionPlan, VertexStep
 
 __all__ = [
     "GraphProfile",
@@ -166,7 +166,9 @@ def measure_levels(
         # so the count-only leaf shortcut must stay off.
         supports_leaf_counting = False
 
-        def _filtered_candidates(self, step, emb):
+        def _filtered_candidates(
+            self, step: VertexStep, emb: Sequence[int]
+        ) -> np.ndarray:
             cands = super()._filtered_candidates(step, emb)
             counts[step.depth] += len(cands)
             scans[step.depth] += len(self._raw_stack[step.depth])

@@ -213,13 +213,14 @@ def parse_ir(text: str) -> ExecutionPlan:
 def _parse_edges(text: str) -> List[Tuple[int, int]]:
     if not text:
         return []
+    out: List[Tuple[int, int]] = []
     try:
-        return [
-            tuple(int(x) for x in pair.split(","))  # type: ignore[misc]
-            for pair in text.strip("()").split("),(")
-        ]
+        for pair in text.strip("()").split("),("):
+            u_text, v_text = pair.split(",")
+            out.append((int(u_text), int(v_text)))
     except ValueError as exc:
         raise IRSyntaxError(f"bad edge list: {text!r}") from exc
+    return out
 
 
 def _vlist(text: str) -> Tuple[int, ...]:
@@ -258,6 +259,7 @@ def emit_multi_ir(plan: MultiPlan) -> str:
 
     def walk(node: PlanNode, parent_label: str) -> None:
         for child in node.children:
+            assert child.step is not None  # only the root has no step
             counter[0] += 1
             label = f"emb{child.step.depth}_{counter[0]}"
             lines.append("  " + _format_step(child.step))

@@ -62,6 +62,9 @@ class VertexStep:
     #: Vertex-label constraint for candidates at this step (labeled
     #: mining); None accepts any label.
     label: Optional[int] = None
+    #: Derived in ``__post_init__`` (never pass it): the connected set
+    #: spans every ancestor depth, so the injectivity filter is a no-op.
+    covers_all_ancestors: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         if self.depth < 1:

@@ -15,7 +15,7 @@ anything that produces plans should be able to prove them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -27,18 +27,25 @@ __all__ = ["PlanValidation", "validate_plan"]
 
 @dataclass(frozen=True)
 class PlanValidation:
-    """Outcome of an empirical plan check."""
+    """Outcome of a static + empirical plan check."""
 
     ok: bool
     trials: int
     failure_graph: Optional[CSRGraph] = None
     expected: Optional[int] = None
     actual: Optional[int] = None
+    #: Rendered FM1xx findings from the static verifier; when non-empty
+    #: the empirical trials were skipped (``trials == 0``).
+    static_findings: Tuple[str, ...] = ()
 
     def __bool__(self) -> bool:
         return self.ok
 
     def message(self) -> str:
+        if self.static_findings:
+            return "plan INVALID (static): " + "; ".join(
+                self.static_findings
+            )
         if self.ok:
             return f"plan validated on {self.trials} random graphs"
         return (
@@ -53,6 +60,7 @@ def validate_plan(
     trials: int = 20,
     max_vertices: int = 12,
     seed: int = 0,
+    static: bool = True,
 ) -> PlanValidation:
     """Check completeness + uniqueness on randomized small graphs.
 
@@ -60,10 +68,26 @@ def validate_plan(
     the label alphabet the pattern uses.  Ground truth comes from the
     compiler-independent ESU oracle (:mod:`repro.verify.oracle`) — the
     same reference the differential verification subsystem trusts.
+
+    The static verifier (:func:`repro.analysis.check_plan`) runs first:
+    a plan it rejects is reported without burning trials — and because
+    everything it proves, the oracle would eventually catch, a
+    static-only failure on a dynamically clean plan is itself a bug the
+    differential runner flags (the ``static-dynamic`` invariant).
     """
+    from ..analysis import check_plan
     from ..engine import PatternAwareEngine
     from ..graph.labels import LabeledGraph
     from ..verify.oracle import oracle_count
+
+    if static:
+        report = check_plan(plan)
+        if not report.ok:
+            return PlanValidation(
+                ok=False,
+                trials=0,
+                static_findings=tuple(str(d) for d in report.errors),
+            )
 
     rng = np.random.default_rng(seed)
     pattern = plan.pattern

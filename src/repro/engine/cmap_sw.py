@@ -18,7 +18,7 @@ against, and its read/write counters reproduce the read-ratio numbers of
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -15,8 +15,6 @@ mirrors Arabesque's canonicality filter (each subgraph expanded once).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from math import comb
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError

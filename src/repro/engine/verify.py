@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..compiler import compile_multi, compile_pattern
+from ..compiler import compile_pattern
 from ..graph import CSRGraph
 from ..patterns import Pattern, brute_force_count
 from .cmap_sw import CMapSoftwareEngine

@@ -55,7 +55,10 @@ def build_report(
     PEs aggregate through the same code path as the serial simulator.
     """
     counts = [0] * num_patterns
-    busy = stall = pruner = setop = cmap_cycles = 0.0
+    busy = stall = 0.0
+    # Unit breakdowns are integer-exact (see PEStats): keep them int so
+    # serial and trace/replay aggregation agree bit for bit.
+    pruner = setop = cmap_cycles = 0
     private_hits = private_misses = 0
     cmap_reads = cmap_writes = cmap_over = fallbacks = 0
     frontier_reads = 0

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from ..engine.counters import OpCounters
 from .area import AreaModel
 from .config import FlexMinerConfig
 from .report import SimReport

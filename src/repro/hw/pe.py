@@ -22,7 +22,7 @@ overrides only add timing and hardware state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,14 +42,22 @@ __all__ = ["PEStats", "ProcessingElement"]
 
 @dataclass
 class PEStats:
-    """Per-PE cycle breakdown and event counts."""
+    """Per-PE cycle breakdown and event counts.
+
+    ``busy_cycles``/``stall_cycles`` live in the float cycle domain
+    (memory stalls include fractional issue gaps).  The unit breakdowns
+    are declared ``int`` on purpose: every producer charges whole
+    cycles, and the parallel simulator ships them as per-task integer
+    deltas that must re-group exactly (fmlint FM202 guards the
+    producers; test_sim_parallel pins the re-grouping).
+    """
 
     tasks: int = 0
     busy_cycles: float = 0.0
     stall_cycles: float = 0.0
-    pruner_cycles: float = 0.0
-    setop_cycles: float = 0.0
-    cmap_cycles: float = 0.0
+    pruner_cycles: int = 0
+    setop_cycles: int = 0
+    cmap_cycles: int = 0
     frontier_reads: int = 0
     cmap_fallbacks: int = 0
     cmap_resolved_checks: int = 0

@@ -25,12 +25,14 @@ class SimReport:
     cycles: float
     seconds: float
     num_pes: int
-    #: Aggregate cycle breakdown across PEs.
+    #: Aggregate cycle breakdown across PEs.  busy/stall live in the
+    #: float cycle domain; the unit breakdowns are integer-exact by
+    #: construction (PEStats) and stay ``int`` through aggregation.
     busy_cycles: float
     stall_cycles: float
-    pruner_cycles: float
-    setop_cycles: float
-    cmap_cycles: float
+    pruner_cycles: int
+    setop_cycles: int
+    cmap_cycles: int
     #: Memory-system event counts.
     noc_requests: int
     dram_accesses: int

@@ -15,7 +15,7 @@ variant with degree pruning.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .pattern import Pattern
 

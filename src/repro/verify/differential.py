@@ -28,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..compiler import compile_motifs, compile_pattern
+from ..analysis import check_multi_plan, check_plan
+from ..compiler import MultiPlan, compile_motifs, compile_pattern
 from ..obs import NULL_REGISTRY, get_logger, make_report
 from ..patterns import Pattern
 from .oracle import oracle_count
@@ -126,7 +127,7 @@ class Mismatch:
     case: str
     backend: str
     #: "count" | "counter-drift" | "sim-report-drift" | "oracle-expected"
-    #: | "error"
+    #: | "error" | "static-dynamic"
     kind: str
     expected: object = None
     actual: object = None
@@ -158,6 +159,9 @@ class DifferentialReport:
     truth: Optional[Tuple[int, ...]]
     counts: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
     mismatches: List[Mismatch] = field(default_factory=list)
+    #: FM1xx error codes the static plan verifier raised (normally
+    #: empty: the fuzzer only emits compiler-valid plans).
+    static_codes: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -170,6 +174,7 @@ class DifferentialReport:
             "counts": {k: list(v) for k, v in sorted(self.counts.items())},
             "ok": self.ok,
             "mismatches": [m.as_dict() for m in self.mismatches],
+            "static_codes": list(self.static_codes),
         }
 
 
@@ -367,6 +372,17 @@ def run_case(
         )
         return report
 
+    # Static verdict first: a statically rejected plan MUST also fail
+    # dynamically (checked below) — the converse direction (dynamic
+    # failure with a static pass) is legitimate, the oracle sees bug
+    # classes the algebra cannot.
+    static = (
+        check_multi_plan(plan)
+        if isinstance(plan, MultiPlan)
+        else check_plan(plan)
+    )
+    report.static_codes = tuple(d.code for d in static.errors)
+
     counters: Dict[str, Dict[str, int]] = {}
     for backend_name, runner in resolved.items():
         try:
@@ -415,6 +431,28 @@ def run_case(
                         actual=list(counts),
                     )
                 )
+
+    # -- static ⇒ dynamic cross-check -----------------------------------
+    # ``static-pass ⇒ oracle-pass`` is the differential invariant: when
+    # the static verifier rejects the plan but every backend matched the
+    # ground truth, one of the two layers is lying — surface it.
+    if report.static_codes and truth is not None:
+        dynamic_failure = any(
+            m.kind in ("count", "error", "oracle-expected")
+            for m in report.mismatches
+        )
+        if not dynamic_failure:
+            report.mismatches.append(
+                Mismatch(
+                    name,
+                    "plancheck",
+                    "static-dynamic",
+                    expected="a dynamic count mismatch",
+                    actual=list(report.static_codes),
+                    detail="static verifier rejected a plan every "
+                    "backend executed correctly",
+                )
+            )
 
     # -- zero-drift op-counter invariant --------------------------------
     drift_ref_name = next(

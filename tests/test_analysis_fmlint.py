@@ -1,0 +1,202 @@
+"""Tests for the determinism lint (repro.analysis.fmlint).
+
+Every rule is exercised on at least one failing and one passing
+snippet (the ISSUE's acceptance bar), plus the suppression syntax, the
+path scoping, and the headline claim: the shipped tree lints clean.
+"""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    CATALOG,
+    DEFAULT_RULES,
+    lint_paths,
+    lint_source,
+)
+
+ENGINE = "src/repro/engine/snippet.py"
+HW = "src/repro/hw/snippet.py"
+OTHER = "src/repro/obs/snippet.py"
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src",
+    "repro",
+)
+
+
+def codes(source, path=ENGINE):
+    return [d.code for d in lint_source(textwrap.dedent(source), path)]
+
+
+class TestRuleRegistry:
+    def test_rules_unique_and_catalogued(self):
+        rule_codes = [rule.code for rule in DEFAULT_RULES]
+        assert len(rule_codes) == len(set(rule_codes))
+        for code in rule_codes:
+            assert code in CATALOG
+            assert CATALOG[code].hint  # every rule ships a fix hint
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert codes("for x in {1, 2, 3}:\n    print(x)\n") == ["FM201"]
+
+    def test_listcomp_over_set_call_flagged(self):
+        assert codes("out = [v for v in set(items)]\n") == ["FM201"]
+
+    def test_set_algebra_flagged(self):
+        src = "for x in set(a) - set(b):\n    use(x)\n"
+        assert codes(src) == ["FM201"]
+
+    def test_sorted_wrapper_passes(self):
+        assert codes("for x in sorted({1, 2, 3}):\n    print(x)\n") == []
+
+    def test_setcomp_from_set_passes(self):
+        # A set built from a set stays unordered: no order is baked in.
+        assert codes("out = {v for v in set(items)}\n") == []
+
+    def test_rule_scoped_to_engine_and_hw(self):
+        src = "for x in {1, 2}:\n    print(x)\n"
+        assert codes(src, path=OTHER) == []
+        assert codes(src, path=HW) == ["FM201"]
+
+
+class TestFloatCycles:
+    def test_float_literal_into_cycles_flagged(self):
+        src = "stats.setop_cycles += n * 1.5\n"
+        assert codes(src) == ["FM202"]
+
+    def test_subtraction_flagged_too(self):
+        assert codes("cycles -= 0.5\n") == ["FM202"]
+
+    def test_coerced_contribution_passes(self):
+        assert codes("stats.setop_cycles += int(n * 1.5)\n") == []
+        assert codes("total_cycles += math.ceil(n * 0.4)\n") == []
+
+    def test_non_cycle_target_passes(self):
+        assert codes("weight += 1.5\n") == []
+
+    def test_integer_contribution_passes(self):
+        assert codes("stats.cmap_cycles += len(batch) * 2\n") == []
+
+
+class TestMetricMutation:
+    def test_write_on_counter_flagged(self):
+        src = 'registry.counter("ops").value = 3\n'
+        assert codes(src, path=OTHER) == ["FM203"]
+
+    def test_augassign_on_gauge_flagged(self):
+        src = 'metrics.gauge("depth").value += 1\n'
+        assert codes(src, path=OTHER) == ["FM203"]
+
+    def test_inc_api_passes(self):
+        assert codes('registry.counter("ops").inc(3)\n', path=OTHER) == []
+
+
+class TestSharedMemory:
+    def test_leaked_segment_flagged(self):
+        src = """
+        def worker(name):
+            shm = shared_memory.SharedMemory(name=name)
+            view = np.frombuffer(shm.buf, dtype=np.int64)
+            return view.sum()
+        """
+        assert codes(src, path=OTHER) == ["FM204"]
+
+    def test_closed_segment_passes(self):
+        src = """
+        def worker(name):
+            shm = shared_memory.SharedMemory(name=name)
+            try:
+                view = np.frombuffer(shm.buf, dtype=np.int64)
+                return int(view.sum())
+            finally:
+                shm.close()
+        """
+        assert codes(src, path=OTHER) == []
+
+    def test_handed_off_segment_passes(self):
+        src = """
+        def create(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            return shm
+        """
+        assert codes(src, path=OTHER) == []
+
+
+class TestWallclock:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "time.perf_counter()",
+            "random.random()",
+            "datetime.datetime.now()",
+            "np.random.default_rng()",
+            "rng.random.shuffle(xs)",
+        ],
+    )
+    def test_nondeterminism_in_hw_flagged(self, call):
+        assert codes(f"x = {call}\n", path=HW) == ["FM205"]
+
+    def test_pure_math_passes(self):
+        assert codes("x = math.sqrt(2.0)\n", path=HW) == []
+
+    def test_rule_scoped_to_hw_only(self):
+        # The engine harness may time itself; the simulator may not.
+        assert codes("t = time.perf_counter()\n", path=ENGINE) == []
+
+
+class TestSuppression:
+    def test_line_disable_specific_code(self):
+        src = "for x in {1, 2}:  # fmlint: disable=FM201\n    print(x)\n"
+        assert codes(src) == []
+
+    def test_line_disable_wrong_code_still_fires(self):
+        src = "for x in {1, 2}:  # fmlint: disable=FM205\n    print(x)\n"
+        assert codes(src) == ["FM201"]
+
+    def test_bare_disable_suppresses_all(self):
+        src = "for x in {1, 2}:  # fmlint: disable\n    print(x)\n"
+        assert codes(src) == []
+
+    def test_skip_file(self):
+        src = "# fmlint: skip-file\nfor x in {1, 2}:\n    print(x)\n"
+        assert codes(src) == []
+
+    def test_skip_file_must_be_near_top(self):
+        lines = ["pass"] * 12 + [
+            "# fmlint: skip-file",
+            "for x in {1, 2}:",
+            "    print(x)",
+        ]
+        assert codes("\n".join(lines) + "\n") == ["FM201"]
+
+
+class TestDriver:
+    def test_syntax_error_reported_as_fm200(self, tmp_path):
+        bad = tmp_path / "engine" / "broken.py"
+        bad.parent.mkdir()
+        bad.write_text("def nope(:\n")
+        rep = lint_paths([str(tmp_path)])
+        assert rep.codes() == ("FM200",)
+        assert not rep.ok
+
+    def test_findings_carry_path_and_line(self, tmp_path):
+        mod = tmp_path / "hw" / "mod.py"
+        mod.parent.mkdir()
+        mod.write_text("import time\n\nt = time.time()\n")
+        rep = lint_paths([str(tmp_path)])
+        [diag] = rep.findings
+        assert diag.code == "FM205"
+        assert diag.location.endswith("mod.py:3")
+
+    def test_shipped_tree_lints_clean(self):
+        # The headline guarantee: bit-identical reports rest on these
+        # conventions, and the tree as shipped satisfies all of them.
+        rep = lint_paths([SRC_ROOT])
+        assert rep.findings == [], rep.render()
+        assert rep.data["files"] > 50

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compiler import compile_pattern
-from repro.engine import OpCounters, PatternAwareEngine
+from repro.engine import OpCounters
 from repro.graph import erdos_renyi
 from repro.patterns import diamond, k_clique, triangle
 from repro.bench import (

@@ -1,0 +1,68 @@
+"""Pinned regressions for the determinism-lint audit (fmlint satellite).
+
+The audit declared PEStats' unit breakdowns ``int`` (busy/stall stay
+float for fractional issue gaps) because the parallel simulator ships
+them as per-task integer deltas that must re-group exactly.  These pins
+fail if any producer starts charging fractional unit cycles again —
+the drift fmlint FM202 guards against syntactically, asserted here on
+a real simulation.
+"""
+
+from repro.compiler import compile_pattern
+from repro.graph import erdos_renyi
+from repro.hw import FlexMinerConfig, simulate
+from repro.patterns import four_cycle, triangle
+
+GRAPH = erdos_renyi(40, 0.25, seed=9)
+
+
+def _sim(pattern, **overrides):
+    config = FlexMinerConfig.small(**overrides)
+    accel_plan = compile_pattern(pattern)
+    return simulate(GRAPH, accel_plan, config)
+
+
+class TestIntegerCycleDomains:
+    def test_unit_breakdowns_are_int(self):
+        report = _sim(four_cycle())
+        assert type(report.pruner_cycles) is int
+        assert type(report.setop_cycles) is int
+        assert type(report.cmap_cycles) is int
+        # The sim actually charged unit work (which units depends on
+        # the plan; the 4-cycle exercises the pruner and the c-map).
+        charged = (
+            report.pruner_cycles + report.setop_cycles + report.cmap_cycles
+        )
+        assert charged > 0
+
+    def test_int_under_both_timing_paths(self):
+        # The vectorized kernels and the legacy per-element loops must
+        # both stay in the integer domain (and agree, as test_hw_*
+        # already pins); a float literal in either drifts the re-group.
+        fast = _sim(triangle(), timing_kernels=True)
+        slow = _sim(triangle(), timing_kernels=False)
+        for report in (fast, slow):
+            assert type(report.pruner_cycles) is int
+            assert type(report.setop_cycles) is int
+            assert type(report.cmap_cycles) is int
+        assert fast.setop_cycles == slow.setop_cycles
+
+    def test_per_pe_stats_are_int(self):
+        from repro.hw.accelerator import FlexMinerAccelerator
+
+        accel = FlexMinerAccelerator(
+            GRAPH, compile_pattern(triangle()), FlexMinerConfig.small()
+        )
+        accel.run()
+        for pe in accel.pes:
+            assert type(pe.stats.pruner_cycles) is int
+            assert type(pe.stats.setop_cycles) is int
+            assert type(pe.stats.cmap_cycles) is int
+
+    def test_json_roundtrip_preserves_int(self):
+        import json
+
+        report = _sim(triangle())
+        data = json.loads(report.to_json())
+        assert isinstance(data["setop_cycles"], int)
+        assert isinstance(data["cmap_cycles"], int)

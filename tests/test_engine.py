@@ -2,7 +2,6 @@
 
 from math import comb
 
-import networkx as nx
 import pytest
 
 from repro.graph import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph import complete_graph, erdos_renyi, grid_graph, rmat
+from repro.graph import complete_graph, grid_graph, rmat
 from repro.patterns import diamond, four_cycle, k_clique, triangle, wedge
 from repro.compiler import (
     GraphProfile,

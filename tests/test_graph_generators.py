@@ -1,6 +1,5 @@
 """Tests for the synthetic graph generators."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError

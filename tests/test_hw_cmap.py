@@ -1,6 +1,5 @@
 """Tests for the hardware c-map model (paper §VI)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compiler import compile_pattern
-from repro.graph import complete_graph, erdos_renyi, star_graph
+from repro.graph import complete_graph, erdos_renyi
 from repro.hw import FlexMinerAccelerator, FlexMinerConfig
 from repro.patterns import diamond, four_cycle, k_clique, triangle
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph import CSRGraph, complete_graph, cycle_graph, star_graph
+from repro.graph import complete_graph, cycle_graph, star_graph
 from repro.patterns import (
     NUM_MOTIFS,
     Pattern,

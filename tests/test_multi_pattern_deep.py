@@ -2,7 +2,6 @@
 
 from math import comb
 
-import pytest
 
 from repro.graph import (
     CSRGraph,

@@ -23,7 +23,7 @@ from repro.obs import (
     validate_trace,
     write_report,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, metric_key
+from repro.obs.metrics import metric_key
 
 
 class TestMetrics:

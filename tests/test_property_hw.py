@@ -5,8 +5,6 @@ insert/remove sequences; the IR parser is fuzzed against the emitter
 across random patterns, labelings and options.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -12,7 +12,7 @@ from repro.compiler import compile_motifs, compile_pattern
 from repro.engine import PatternAwareEngine, mine
 from repro.graph import CSRGraph, erdos_renyi, star_graph
 from repro.hw import FlexMinerConfig, Scheduler, simulate
-from repro.patterns import four_cycle, k_clique, triangle
+from repro.patterns import four_cycle, k_clique
 
 GRAPH = erdos_renyi(40, 0.3, seed=91)
 

@@ -41,6 +41,9 @@ class TestValidPlans:
 
 
 class TestBrokenPlans:
+    """``static=False`` forces the empirical path: the static verifier
+    (tested in test_analysis_plancheck.py) would reject these first."""
+
     def test_missing_symmetry_bound_breaks_uniqueness(self):
         plan = compile_pattern(four_cycle())
         broken_steps = tuple(
@@ -49,7 +52,7 @@ class TestBrokenPlans:
         broken = replace(
             plan, steps=broken_steps, symmetry_conditions=()
         )
-        result = validate_plan(broken, trials=20, seed=2)
+        result = validate_plan(broken, trials=20, seed=2, static=False)
         assert not result
         assert result.actual > result.expected  # duplicates found
         assert "INVALID" in result.message()
@@ -64,7 +67,7 @@ class TestBrokenPlans:
             plan,
             steps=(plan.steps[0], tightened) + plan.steps[2:],
         )
-        result = validate_plan(broken, trials=20, seed=3)
+        result = validate_plan(broken, trials=20, seed=3, static=False)
         assert not result
         assert result.actual < result.expected
 
@@ -74,7 +77,7 @@ class TestBrokenPlans:
         assert last.connected  # drop the closing constraint
         loosened = replace(last, connected=(), extra_connected=())
         broken = replace(plan, steps=plan.steps[:-1] + (loosened,))
-        result = validate_plan(broken, trials=20, seed=4)
+        result = validate_plan(broken, trials=20, seed=4, static=False)
         assert not result
 
     def test_failure_reports_counterexample(self):
@@ -84,6 +87,27 @@ class TestBrokenPlans:
             steps=tuple(replace(s, upper_bounds=()) for s in plan.steps),
             symmetry_conditions=(),
         )
-        result = validate_plan(broken, trials=20, seed=2)
+        result = validate_plan(broken, trials=20, seed=2, static=False)
         assert result.failure_graph is not None
         assert result.failure_graph.num_vertices <= 12
+
+
+class TestStaticPrePass:
+    def test_static_rejection_skips_trials(self):
+        plan = compile_pattern(four_cycle())
+        broken = replace(
+            plan,
+            steps=tuple(replace(s, upper_bounds=()) for s in plan.steps),
+            symmetry_conditions=(),
+        )
+        result = validate_plan(broken, trials=20, seed=2)
+        assert not result
+        assert result.trials == 0  # never reached the empirical loop
+        assert result.static_findings
+        assert "FM110" in result.message()
+        assert "INVALID (static)" in result.message()
+
+    def test_clean_plan_passes_static_and_empirical(self):
+        result = validate_plan(compile_pattern(four_cycle()), trials=6)
+        assert result
+        assert result.static_findings == ()

@@ -10,7 +10,7 @@ import re
 
 import pytest
 
-from repro.graph import CSRGraph, erdos_renyi
+from repro.graph import erdos_renyi
 from repro.patterns import four_cycle, triangle, wedge
 from repro.verify import (
     BACKENDS,

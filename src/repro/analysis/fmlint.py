@@ -18,7 +18,11 @@ conventions nothing enforced until now:
   be closed/unlinked or handed off (leaked segments outlive the
   process);
 * **FM205** — no wall-clock or RNG calls inside the simulator
-  (``hw/``): cycle accounting must be a pure function of the inputs.
+  (``hw/``): cycle accounting must be a pure function of the inputs;
+* **FM206** — no direct ``perf_counter``/``process_time``/``monotonic``
+  calls in ``engine/``/``hw/`` (dotted or from-imported): timing flows
+  through ``repro.obs`` (LaneRecorder / PhaseProfiler / Tracer) so the
+  profile is the single source of wall-clock truth.
 
 Rules are deliberately *syntactic*: they flag the patterns that caused
 (or nearly caused) real drift bugs, run in milliseconds, and are each
@@ -73,6 +77,11 @@ FM205 = register_code(
     "FM205", "wall-clock or RNG call inside the simulator", "error",
     "simulator accounting must be a pure function of its inputs; pass "
     "times/seeds in explicitly",
+)
+FM206 = register_code(
+    "FM206", "direct wall-clock timing call outside repro.obs", "error",
+    "route timing through repro.obs (LaneRecorder, PhaseProfiler or "
+    "Tracer) so busy accounting and profiles share one clock",
 )
 
 _SUPPRESS_RE = re.compile(
@@ -308,6 +317,47 @@ def _check_wallclock(ctx: LintContext) -> Iterator[Tuple[int, str]]:
             yield (node.lineno, f"call to {name}()")
 
 
+#: Clock functions of the ``time`` module FM206 polices.
+_TIMING_FUNCS = {
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "monotonic",
+    "monotonic_ns",
+}
+
+
+def _check_direct_timing(ctx: LintContext) -> Iterator[Tuple[int, str]]:
+    """FM206: dotted *and* from-imported clock calls in engine//hw/.
+
+    ``from time import perf_counter`` would slip past the dotted-name
+    check of FM205, so the rule first collects local aliases bound by
+    from-imports of :mod:`time` and then flags bare calls to them too.
+    """
+    bare: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIMING_FUNCS:
+                    bare[alias.asname or alias.name] = alias.name
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if not name:
+            continue
+        leaf = name.rsplit(".", 1)[-1]
+        if name.startswith("time.") and leaf in _TIMING_FUNCS:
+            yield (node.lineno, f"direct call to {name}()")
+        elif "." not in name and name in bare:
+            yield (
+                node.lineno,
+                f"direct call to {name}() "
+                f"(from-imported time.{bare[name]})",
+            )
+
+
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(
         FM201, _check_unordered_iteration, paths=("engine/", "hw/")
@@ -316,6 +366,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(FM203, _check_metric_mutation),
     LintRule(FM204, _check_shared_memory),
     LintRule(FM205, _check_wallclock, paths=("hw/",)),
+    LintRule(FM206, _check_direct_timing, paths=("engine/", "hw/")),
 )
 
 

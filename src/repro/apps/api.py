@@ -62,6 +62,7 @@ def _run(
     config: Optional[FlexMinerConfig],
     collect: bool,
     workers: int = 1,
+    profiler=None,
 ) -> Result:
     if workers > 1 and backend != "engine":
         raise ConfigError(
@@ -74,8 +75,12 @@ def _run(
                 raise ConfigError(
                     "the parallel miner does not collect embeddings"
                 )
-            return ParallelMiner(graph, plan, workers=workers).mine()
-        return PatternAwareEngine(graph, plan, collect=collect).run()
+            return ParallelMiner(
+                graph, plan, workers=workers, profiler=profiler
+            ).mine()
+        return PatternAwareEngine(
+            graph, plan, collect=collect, profiler=profiler
+        ).run()
     if backend == "cmap":
         return CMapSoftwareEngine(graph, plan, collect=collect).run()
     if backend == "oblivious":
@@ -85,7 +90,7 @@ def _run(
     if backend == "sim":
         if collect:
             raise ConfigError("the simulator does not collect embeddings")
-        return simulate(graph, plan, config)
+        return simulate(graph, plan, config, profiler=profiler)
     raise ConfigError(
         f"unknown backend {backend!r}; expected engine/cmap/oblivious/sim"
     )
@@ -97,10 +102,12 @@ def triangle_count(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    profiler=None,
 ) -> Result:
     """TC: count triangles (3-cliques, orientation-optimized)."""
     return clique_count(
-        graph, 3, backend=backend, config=config, workers=workers
+        graph, 3, backend=backend, config=config, workers=workers,
+        profiler=profiler,
     )
 
 
@@ -111,6 +118,7 @@ def clique_count(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    profiler=None,
 ) -> Result:
     """k-CL: count k-cliques using the orientation technique (§V-C)."""
     pattern = k_clique(k)
@@ -124,6 +132,7 @@ def clique_count(
         config=config,
         collect=False,
         workers=workers,
+        profiler=profiler,
     )
 
 
@@ -135,6 +144,7 @@ def subgraph_list(
     config: Optional[FlexMinerConfig] = None,
     collect: bool = False,
     workers: int = 1,
+    profiler=None,
 ) -> Result:
     """SL: enumerate edge-induced matches of an arbitrary pattern."""
     plan = compile_pattern(pattern, induced=False)
@@ -147,6 +157,7 @@ def subgraph_list(
         config=config,
         collect=collect,
         workers=workers,
+        profiler=profiler,
     )
 
 
@@ -157,6 +168,7 @@ def motif_count(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    profiler=None,
 ) -> Result:
     """k-MC: count every k-vertex motif simultaneously (multi-pattern)."""
     plan = compile_motifs(k)
@@ -169,6 +181,7 @@ def motif_count(
         config=config,
         collect=False,
         workers=workers,
+        profiler=profiler,
     )
 
 
@@ -181,24 +194,29 @@ def run_app(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    profiler=None,
 ) -> Result:
     """Dispatch by app name: 'TC', 'k-CL', 'SL' or 'k-MC'."""
     if app == "TC":
         return triangle_count(
-            graph, backend=backend, config=config, workers=workers
+            graph, backend=backend, config=config, workers=workers,
+            profiler=profiler,
         )
     if app == "k-CL":
         return clique_count(
-            graph, k, backend=backend, config=config, workers=workers
+            graph, k, backend=backend, config=config, workers=workers,
+            profiler=profiler,
         )
     if app == "SL":
         if pattern is None:
             raise ConfigError("SL needs a pattern")
         return subgraph_list(
-            graph, pattern, backend=backend, config=config, workers=workers
+            graph, pattern, backend=backend, config=config,
+            workers=workers, profiler=profiler,
         )
     if app == "k-MC":
         return motif_count(
-            graph, k, backend=backend, config=config, workers=workers
+            graph, k, backend=backend, config=config, workers=workers,
+            profiler=profiler,
         )
     raise ConfigError(f"unknown app {app!r}; expected one of {APP_NAMES}")

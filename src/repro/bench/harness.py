@@ -23,7 +23,13 @@ from ..compiler import compile_motifs, compile_pattern
 from ..engine import MiningResult
 from ..graph import CSRGraph, load_dataset
 from ..hw import FlexMinerConfig, SimReport, simulate
-from ..obs import MetricsRegistry, get_logger, make_report, write_report
+from ..obs import (
+    MetricsRegistry,
+    NULL_PROFILER,
+    get_logger,
+    make_report,
+    write_report,
+)
 from ..patterns import diamond, four_cycle, k_clique, triangle
 from .cpumodel import CpuModelConfig, graphzero_time
 
@@ -130,6 +136,9 @@ class Harness:
     ``REPRO_BENCH_TELEMETRY`` environment variable) makes every fresh
     simulation write a per-cell JSON report, with
     :meth:`write_summary` producing the cross-PR ``BENCH_summary.json``.
+    ``profiler`` (a :class:`repro.obs.PhaseProfiler`) attributes plan
+    compilation, graph loads and fresh cell runs to phases; it is
+    forwarded into the simulator and never changes any report.
     """
 
     def __init__(
@@ -138,9 +147,11 @@ class Harness:
         *,
         metrics: Optional[MetricsRegistry] = None,
         telemetry_dir: Optional[str] = None,
+        profiler=None,
     ) -> None:
         self.cpu_config = cpu_config or CpuModelConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         if telemetry_dir is None:
             telemetry_dir = os.environ.get(_TELEMETRY_ENV) or None
         self.telemetry_dir = telemetry_dir
@@ -153,11 +164,13 @@ class Harness:
 
     def plan(self, app: str):
         if app not in self._plans:
-            self._plans[app] = _plan(app)
+            with self.profiler.phase("compile", app=app):
+                self._plans[app] = _plan(app)
         return self._plans[app]
 
     def graph(self, dataset: str) -> CSRGraph:
-        return load_dataset(dataset)
+        with self.profiler.phase("load-graph", dataset=dataset):
+            return load_dataset(dataset)
 
     #: Depth-1 slice size for straggler-task splitting.  The paper's
     #: full-size inputs provide millions of tasks per figure cell; the
@@ -198,12 +211,15 @@ class Harness:
 
                 report = simulate_parallel(
                     self.graph(dataset), self.plan(app), config,
-                    workers=parallel,
+                    workers=parallel, profiler=self.profiler,
                 )
             else:
-                report = simulate(
-                    self.graph(dataset), self.plan(app), config
-                )
+                with self.profiler.phase(
+                    "simulate", app=app, dataset=dataset
+                ):
+                    report = simulate(
+                        self.graph(dataset), self.plan(app), config
+                    )
             self._account_sim_wall(time.perf_counter() - start, cells=1)
             self.metrics.histogram("bench.sim_cycles").observe(report.cycles)
             self._sim_cache[key] = report
@@ -388,13 +404,16 @@ class Harness:
                 app, dataset, mode, workers,
             )
             self.metrics.counter("bench.engine_runs").inc()
-            self._engine_cache[key] = run_engine_cell(
-                self.graph(dataset),
-                self.plan(app),
-                mode=mode,
-                workers=workers,
-                split_degree=split,
-            )
+            with self.profiler.phase(
+                "mine", app=app, dataset=dataset, mode=mode
+            ):
+                self._engine_cache[key] = run_engine_cell(
+                    self.graph(dataset),
+                    self.plan(app),
+                    mode=mode,
+                    workers=workers,
+                    split_degree=split,
+                )
         else:
             self.metrics.counter("bench.engine_cache_hits").inc()
         return self._engine_cache[key]

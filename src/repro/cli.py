@@ -7,7 +7,9 @@ Examples::
     flexminer mine 4-clique --dataset As --workers 4   # multi-process
     flexminer sim diamond --dataset As --pes 20 --cmap-kb 8
     flexminer sim triangle --dataset Mi --trace t.json --emit-json
+    flexminer profile mine 4-clique --dataset As --workers 4
     flexminer stats old.json new.json         # diff two run reports
+    flexminer bench-trend --record telemetry/BENCH_summary.json
     flexminer motifs 3 --dataset As
     flexminer datasets                        # Table I for the suite
     flexminer verify --seed 0 --cases 50      # differential fuzz, all backends
@@ -32,12 +34,18 @@ from .graph import CSRGraph, load_dataset, load_graph
 from .hw import FlexMinerConfig, simulate
 from .obs import (
     NULL_TRACER,
+    PhaseProfiler,
     Tracer,
     diff_reports,
     load_report,
     make_report,
     render_diff,
     render_report,
+)
+from .obs.trend import (
+    DEFAULT_HISTORY,
+    DEFAULT_THRESHOLD_PCT,
+    DEFAULT_WINDOW,
 )
 from .patterns import from_name
 
@@ -199,6 +207,54 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--json", action="store_true",
         help="emit a flexminer.run/1 JSON report instead of text",
+    )
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="run a mine/sim command under the cross-process profiler "
+        "(phase table, utilization timeline, merged worker-lane trace)",
+    )
+    profile_p.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="command",
+        help="the command to profile, e.g. mine 4-clique --workers 4",
+    )
+
+    trend_p = sub.add_parser(
+        "bench-trend",
+        help="append bench reports to BENCH_history.jsonl and flag "
+        "per-cell regressions vs recent history",
+    )
+    trend_p.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="FILE",
+        help=f"JSONL history file (default: {DEFAULT_HISTORY})",
+    )
+    trend_p.add_argument(
+        "--record", nargs="+", default=[], metavar="REPORT",
+        help="bench report JSONs to append before computing trends",
+    )
+    trend_p.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="prior samples the per-cell baseline median draws from",
+    )
+    trend_p.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+        help="regression gate: max slowdown vs baseline, in percent",
+    )
+    trend_p.add_argument(
+        "--report-only", action="store_true",
+        help="always exit 0 (CI on pull requests)",
+    )
+    trend_p.add_argument(
+        "--json", action="store_true",
+        help="emit a flexminer.run/1 JSON report instead of text",
+    )
+    trend_p.add_argument(
+        "--sha", default=None,
+        help="record under this git sha (default: HEAD)",
+    )
+    trend_p.add_argument(
+        "--host", default=None,
+        help="record under (and restrict trends to) this host name",
     )
 
     estimate_p = sub.add_parser(
@@ -441,10 +497,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{pattern.name:<16s}{count:>12d}")
         return 0
 
-    tracer = Tracer() if getattr(args, "trace", None) else NULL_TRACER
-    with tracer.span("load-graph", cat="phase"):
+    if args.command == "bench-trend":
+        return _bench_trend(args)
+
+    if args.command == "profile":
+        rest = list(args.rest)
+        if rest and rest[0] == "--":
+            rest = rest[1:]
+        if not rest:
+            print(
+                "profile: give a command to profile, e.g. "
+                "flexminer profile mine 4-clique --workers 4",
+                file=sys.stderr,
+            )
+            return 2
+        inner = build_parser().parse_args(rest)
+        if inner.command not in ("mine", "sim"):
+            print(
+                f"profile: cannot profile {inner.command!r}; only mine "
+                "and sim are supported",
+                file=sys.stderr,
+            )
+            return 2
+        return _mine_or_sim(inner, profile=True)
+
+    return _mine_or_sim(args)
+
+
+def _mine_or_sim(args, *, profile: bool = False) -> int:
+    """Shared body of ``mine``/``sim`` (and ``profile`` wrapping them)."""
+    trace_path = getattr(args, "trace", None)
+    if profile and trace_path is None:
+        trace_path = "profile_trace.json"
+    tracer = Tracer() if trace_path else NULL_TRACER
+    prof = PhaseProfiler(tracer=tracer, enabled=profile)
+    with prof.phase("load-graph"):
         graph = _load(args)
-    with tracer.span("compile", cat="phase", pattern=args.pattern):
+    with prof.phase("compile", pattern=args.pattern):
         plan = compile_pattern(from_name(args.pattern), induced=args.induced)
     run_meta = {
         "command": args.command,
@@ -452,25 +541,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dataset": None if args.graph else args.dataset,
         "graph_file": args.graph,
         "induced": args.induced,
+        "profiled": profile,
         "version": __version__,
     }
 
     if args.command == "mine":
         run_meta["workers"] = args.workers
-        if args.workers > 1 or args.split_degree is not None:
-            miner = ParallelMiner(
-                graph, plan, workers=args.workers,
-                split_degree=args.split_degree, tracer=tracer,
-            )
+        if profile or args.workers > 1 or args.split_degree is not None:
+            # Profiling always routes through the parallel miner so the
+            # trace carries worker lanes at any worker count (workers=1
+            # runs in-process with identical results).
+            with prof.phase("setup", workers=args.workers):
+                miner = ParallelMiner(
+                    graph, plan, workers=args.workers,
+                    split_degree=args.split_degree, tracer=tracer,
+                    profiler=prof,
+                )
             result = miner.mine()
         else:
-            result = PatternAwareEngine(graph, plan, tracer=tracer).run()
+            with prof.phase("setup"):
+                engine = PatternAwareEngine(
+                    graph, plan, tracer=tracer, profiler=prof
+                )
+            result = engine.run()
         seconds = cpu_time_seconds(result.counters)
-        if args.trace:
-            tracer.write(args.trace)
-            print(f"trace written to {args.trace}", file=sys.stderr)
+        profile_payload, profile_text = _freeze_profile(prof, profile)
+        if trace_path:
+            tracer.write(trace_path)
+            print(f"trace written to {trace_path}", file=sys.stderr)
         if args.emit_json:
             payload = dict(result.as_dict(), model_seconds=seconds)
+            if profile_payload is not None:
+                payload["profile"] = profile_payload
             print(json.dumps(
                 make_report("mine", payload, meta=run_meta),
                 indent=2, sort_keys=True,
@@ -479,6 +581,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"matches: {result.counts[0]}")
             print(f"CPU-20T model: {seconds * 1e3:.3f} ms")
             print(f"set-op iterations: {result.counters.setop_iterations}")
+            if profile_text is not None:
+                print()
+                print(profile_text)
         return 0
 
     if args.command == "sim":
@@ -487,7 +592,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         run_meta.update(num_pes=args.pes, cmap_bytes=args.cmap_kb * 1024)
         workers = args.workers
-        if workers > 1 and args.trace:
+        if workers > 1 and trace_path and not profile:
             print(
                 "--trace hooks into simulator internals the parallel "
                 "runner bypasses; running serial",
@@ -498,22 +603,100 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .hw.parallel_sim import simulate_parallel
 
             run_meta["workers"] = workers
-            report = simulate_parallel(graph, plan, config, workers=workers)
+            report = simulate_parallel(
+                graph, plan, config, workers=workers, profiler=prof
+            )
         else:
-            report = simulate(graph, plan, config, tracer=tracer)
-        if args.trace:
-            tracer.write(args.trace)
-            print(f"trace written to {args.trace}", file=sys.stderr)
+            report = simulate(
+                graph, plan, config, tracer=tracer, profiler=prof
+            )
+        profile_payload, profile_text = _freeze_profile(prof, profile)
+        if trace_path:
+            tracer.write(trace_path)
+            print(f"trace written to {trace_path}", file=sys.stderr)
         if args.emit_json:
+            payload = report.as_dict()
+            if profile_payload is not None:
+                payload = dict(payload, profile=profile_payload)
             print(json.dumps(
-                make_report("sim", report.as_dict(), meta=run_meta),
+                make_report("sim", payload, meta=run_meta),
                 indent=2, sort_keys=True,
             ))
         else:
             print(report.summary())
+            if profile_text is not None:
+                print()
+                print(profile_text)
         return 0
 
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _freeze_profile(prof, profile: bool):
+    """Snapshot the profile payload/rendering before the trace write.
+
+    Freezing first keeps the coverage figure about the measured run,
+    not about trace serialization.
+    """
+    if not profile:
+        return None, None
+    payload = prof.as_dict()
+    text = prof.timeline() + "\n\n" + prof.table()
+    return payload, text
+
+
+def _bench_trend(args) -> int:
+    from .obs.trend import (
+        compute_trends,
+        load_history,
+        record_report,
+        regressions,
+        render_trends,
+    )
+
+    recorded = 0
+    for path in args.record:
+        try:
+            report = load_report(path)
+        except (OSError, ValueError) as exc:
+            print(
+                f"bench-trend: cannot read {path}: {exc}", file=sys.stderr
+            )
+            return 2
+        recorded += record_report(
+            args.history, report, sha=args.sha, host=args.host
+        )
+    if recorded:
+        print(
+            f"recorded {recorded} cell(s) into {args.history}",
+            file=sys.stderr,
+        )
+    entries = load_history(args.history)
+    trends = compute_trends(entries, window=args.window, host=args.host)
+    regressed = regressions(trends, threshold_pct=args.threshold)
+    if args.json:
+        payload = {
+            "trends": [t.as_dict() for t in trends],
+            "regressions": [t.as_dict() for t in regressed],
+            "threshold_pct": args.threshold,
+            "window": args.window,
+        }
+        print(json.dumps(
+            make_report("bench-trend", payload, meta={
+                "history": args.history, "version": __version__,
+            }),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_trends(trends, threshold_pct=args.threshold))
+        if regressed:
+            print(
+                f"bench-trend: {len(regressed)} regression(s) above "
+                f"{args.threshold:.0f}%"
+            )
+    if regressed and not args.report_only:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

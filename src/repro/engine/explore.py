@@ -23,7 +23,7 @@ import numpy as np
 
 from ..compiler.plan import ExecutionPlan, MultiPlan, PlanNode, VertexStep
 from ..graph import CSRGraph, orient_by_degree
-from ..obs import NULL_REGISTRY, NULL_TRACER
+from ..obs import NULL_PROFILER, NULL_REGISTRY, NULL_TRACER
 from . import kernels
 from .counters import OpCounters
 from .setops import (
@@ -101,6 +101,10 @@ class PatternAwareEngine:
         Optional :class:`repro.obs.MetricsRegistry`; ``run()`` publishes
         the final op-counter state under ``engine.*`` gauges.  Defaults
         to the no-op registry.
+    profiler:
+        Optional :class:`repro.obs.PhaseProfiler`; when enabled it takes
+        over the mine-phase span (attributing wall/CPU/RSS) instead of
+        the plain tracer span.  Never changes counts or counters.
     """
 
     def __init__(
@@ -114,6 +118,7 @@ class PatternAwareEngine:
         work_graph: Optional[CSRGraph] = None,
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> None:
         self.graph = graph
         self.plan = plan
@@ -122,6 +127,7 @@ class PatternAwareEngine:
         self.count_leaves = count_leaves
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.counters = OpCounters()
         self._multi = isinstance(plan, MultiPlan)
         oriented = (not self._multi) and plan.oriented
@@ -180,10 +186,19 @@ class PatternAwareEngine:
         if roots is None:
             roots = self._work_graph.vertices()
         root_label = None if self._multi else self.plan.root_label
-        with self.tracer.span(
-            "mine", cat="phase", engine=type(self).__name__,
-            patterns=self._num_patterns,
-        ):
+        # The profiler's phase mirrors into its own tracer, so exactly
+        # one "mine" span lands in the trace either way.
+        if self.profiler.enabled:
+            span = self.profiler.phase(
+                "mine", engine=type(self).__name__,
+                patterns=self._num_patterns,
+            )
+        else:
+            span = self.tracer.span(
+                "mine", cat="phase", engine=type(self).__name__,
+                patterns=self._num_patterns,
+            )
+        with span:
             for v0 in roots:
                 if (
                     root_label is not None

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,7 +46,8 @@ from ..graph import (
     share_array,
 )
 from ..compiler.plan import MultiPlan
-from ..obs import NULL_REGISTRY, NULL_TRACER
+from ..obs import NULL_PROFILER, NULL_REGISTRY, NULL_TRACER
+from ..obs.prof import LaneRecorder, task_label
 from .counters import OpCounters
 from .explore import MiningResult, PatternAwareEngine
 
@@ -102,6 +102,41 @@ def _build_worker_graph(
     return labeled
 
 
+def _span_durations(spans, cat: str) -> List[float]:
+    """Durations (seconds) of the spans in category ``cat``."""
+    return [
+        t1 - t0 for _name, t0, t1, c, _args in (spans or ()) if c == cat
+    ]
+
+
+def _worker_summary(
+    engine: PatternAwareEngine,
+    rec: LaneRecorder,
+    tasks_done: int,
+    chunks_done: int,
+    *,
+    profile: bool,
+) -> Dict[str, object]:
+    """Shared summary payload of one worker (or the in-process runner).
+
+    All timing flows through the lane recorder (fmlint FM206): busy is
+    the sum of the per-task ``task`` spans, queue wait the sum of the
+    ``queue-wait`` spans.  The raw span stream crosses the pipe only
+    when profiling is on — keys present either way, so the merge path
+    is identical and profiling cannot drift results.
+    """
+    summary: Dict[str, object] = {
+        "counts": list(engine.counts),
+        "counters": engine.counters,
+        "busy_seconds": rec.total("task"),
+        "queue_wait_seconds": rec.total("queue-wait"),
+        "tasks_done": tasks_done,
+        "chunks_done": chunks_done,
+        "spans": rec.spans if profile else None,
+    }
+    return summary
+
+
 def _mine_worker(
     worker_id: int,
     spec: Dict[str, object],
@@ -109,29 +144,33 @@ def _mine_worker(
     work_spec: Optional[Dict[str, object]],
     plan,
     options: Dict[str, object],
+    profile: bool,
     task_queue,
     result_queue,
 ) -> None:
     """Worker main: attach shared buffers, drain the queue, report once."""
     try:
-        graph = _build_worker_graph(spec, labels_spec)
-        work_graph = (
-            attach_shared_csr(work_spec) if work_spec is not None else None
-        )
-        engine = PatternAwareEngine(
-            graph, plan, work_graph=work_graph, **options
-        )
-        busy = 0.0
+        rec = LaneRecorder()
+        with rec.span("attach-shm"):
+            graph = _build_worker_graph(spec, labels_spec)
+            work_graph = (
+                attach_shared_csr(work_spec)
+                if work_spec is not None
+                else None
+            )
+            engine = PatternAwareEngine(
+                graph, plan, work_graph=work_graph, **options
+            )
         tasks_done = 0
         chunks_done = 0
         while True:
-            task = task_queue.get()
+            with rec.span("queue-wait", cat="queue-wait"):
+                task = task_queue.get()
             if task is None:
                 break
             root, chunk = task
-            start = time.perf_counter()
-            engine.run_task(root, chunk=chunk)
-            busy += time.perf_counter() - start
+            with rec.span(task_label(root, chunk), cat="task"):
+                engine.run_task(root, chunk=chunk)
             if chunk is None:
                 tasks_done += 1
             else:
@@ -140,13 +179,9 @@ def _mine_worker(
             (
                 "done",
                 worker_id,
-                {
-                    "counts": list(engine.counts),
-                    "counters": engine.counters,
-                    "busy_seconds": busy,
-                    "tasks_done": tasks_done,
-                    "chunks_done": chunks_done,
-                },
+                _worker_summary(
+                    engine, rec, tasks_done, chunks_done, profile=profile
+                ),
             )
         )
     except BaseException:  # pragma: no cover - exercised via error test
@@ -177,6 +212,12 @@ class ParallelMiner:
     tracer / metrics:
         Parent-side observability; workers run untraced and their
         op-counter totals are merged into the parent registry.
+    profiler:
+        Optional :class:`repro.obs.PhaseProfiler`.  When enabled (and
+        carrying a tracer), workers ship their span streams back and
+        the mine emits one wall-clock lane per worker plus a
+        coordinator lane, with setup/mine/merge phase attribution.
+        Never changes counts or counters (tested zero-drift).
     """
 
     def __init__(
@@ -190,6 +231,7 @@ class ParallelMiner:
         count_leaves: bool = True,
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -203,6 +245,7 @@ class ParallelMiner:
         self.split_degree = split_degree
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._options = {
             "use_frontier_memo": use_frontier_memo,
             "count_leaves": count_leaves,
@@ -232,68 +275,87 @@ class ParallelMiner:
 
     def mine(self, roots: Optional[Sequence[int]] = None) -> MiningResult:
         """Run the parallel mining job and merge worker results."""
-        tasks = order_tasks(
-            self._work_graph,
-            self._roots(roots),
-            split_degree=self.split_degree,
-        )
+        with self.profiler.phase("setup", workers=self.workers):
+            tasks = order_tasks(
+                self._work_graph,
+                self._roots(roots),
+                split_degree=self.split_degree,
+            )
         chunk_units = sum(1 for _, chunk in tasks if chunk is not None)
         with self.tracer.span(
             "mine-parallel", cat="phase", workers=self.workers,
             tasks=len(tasks),
         ):
-            if self.workers == 1:
-                summaries = [self._mine_serial(tasks)]
-            else:
-                summaries = self._mine_processes(tasks)
+            with self.profiler.phase("mine", tasks=len(tasks)):
+                if self.workers == 1:
+                    summaries = [self._mine_serial(tasks)]
+                else:
+                    summaries = self._mine_processes(tasks)
 
-        # Deterministic merge: worker order is fixed, fields additive.
-        summaries.sort(key=lambda item: item[0])
-        counts = [0] * (self.plan.num_patterns if self._multi else 1)
-        counters = OpCounters()
-        for _, summary in summaries:
-            for i, c in enumerate(summary["counts"]):
-                counts[i] += c
-            counters += summary["counters"]
-        counters.matches = sum(counts)
+        with self.profiler.phase("merge"):
+            # Deterministic merge: worker order fixed, fields additive.
+            summaries.sort(key=lambda item: item[0])
+            counts = [0] * (self.plan.num_patterns if self._multi else 1)
+            counters = OpCounters()
+            with self.profiler.lane_span("counter-merge"):
+                for _, summary in summaries:
+                    for i, c in enumerate(summary["counts"]):
+                        counts[i] += c
+                    counters += summary["counters"]
+            counters.matches = sum(counts)
+            self._publish(summaries, tasks, chunk_units, counters)
+        return MiningResult(counts=tuple(counts), counters=counters)
 
+    def _publish(self, summaries, tasks, chunk_units, counters) -> None:
+        """Worker lanes, gauges and queue-wait distribution (merge side)."""
+        if self.profiler.enabled:
+            self.profiler.init_lanes(len(summaries))
+            for worker_id, summary in summaries:
+                self.profiler.add_lane(worker_id, summary.get("spans"))
+                for wait_s in _span_durations(
+                    summary.get("spans"), "queue-wait"
+                ):
+                    self.metrics.histogram(
+                        "engine.parallel.queue_wait_us"
+                    ).observe(wait_s * 1e6)
         self.metrics.gauge("engine.parallel.workers").set(self.workers)
         self.metrics.gauge("engine.parallel.queue_depth").set(len(tasks))
         self.metrics.gauge("engine.parallel.chunk_units").set(chunk_units)
         for worker_id, summary in summaries:
-            for key in ("busy_seconds", "tasks_done", "chunks_done"):
+            for key in (
+                "busy_seconds",
+                "queue_wait_seconds",
+                "tasks_done",
+                "chunks_done",
+            ):
                 self.metrics.gauge(
                     f"engine.parallel.worker_{key}", worker=worker_id
                 ).set(summary[key])
         self.metrics.absorb(counters.as_dict(), prefix="engine.")
-        return MiningResult(counts=tuple(counts), counters=counters)
 
     # ------------------------------------------------------------------
     def _mine_serial(self, tasks: Sequence[Task]):
         """workers=1: same task order, no processes, exact parity."""
-        engine = PatternAwareEngine(
-            self.graph, self.plan, work_graph=self._work_graph,
-            **self._options,
-        )
-        busy = 0.0
+        rec = LaneRecorder()
+        with rec.span("attach-shm"):
+            engine = PatternAwareEngine(
+                self.graph, self.plan, work_graph=self._work_graph,
+                **self._options,
+            )
         tasks_done = chunks_done = 0
         for root, chunk in tasks:
-            start = time.perf_counter()
-            engine.run_task(root, chunk=chunk)
-            busy += time.perf_counter() - start
+            with rec.span(task_label(root, chunk), cat="task"):
+                engine.run_task(root, chunk=chunk)
             if chunk is None:
                 tasks_done += 1
             else:
                 chunks_done += 1
         return (
             0,
-            {
-                "counts": list(engine.counts),
-                "counters": engine.counters,
-                "busy_seconds": busy,
-                "tasks_done": tasks_done,
-                "chunks_done": chunks_done,
-            },
+            _worker_summary(
+                engine, rec, tasks_done, chunks_done,
+                profile=self.profiler.enabled,
+            ),
         )
 
     def _mine_processes(self, tasks: Sequence[Task]):
@@ -321,49 +383,56 @@ class ParallelMiner:
 
             task_queue = ctx.Queue()
             result_queue = ctx.Queue()
-            for worker_id in range(self.workers):
-                proc = ctx.Process(
-                    target=_mine_worker,
-                    args=(
-                        worker_id,
-                        topo_buffers.spec,
-                        labels_spec,
-                        work_spec,
-                        self.plan,
-                        self._options,
-                        task_queue,
-                        result_queue,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                procs.append(proc)
-            for task in tasks:
-                task_queue.put(task)
-            for _ in procs:
-                task_queue.put(None)
-
-            while len(summaries) < len(procs):
-                try:
-                    kind, worker_id, payload = result_queue.get(timeout=1.0)
-                except Exception:
-                    dead = [
-                        p for p in procs
-                        if p.exitcode not in (0, None)
-                    ]
-                    if dead:  # pragma: no cover - hard crash path
-                        raise RuntimeError(
-                            f"{len(dead)} mining worker(s) died with exit "
-                            f"codes {[p.exitcode for p in dead]}"
-                        )
-                    continue
-                if kind == "error":
-                    raise RuntimeError(
-                        f"mining worker {worker_id} failed:\n{payload}"
+            with self.profiler.lane_span("spawn-workers"):
+                for worker_id in range(self.workers):
+                    proc = ctx.Process(
+                        target=_mine_worker,
+                        args=(
+                            worker_id,
+                            topo_buffers.spec,
+                            labels_spec,
+                            work_spec,
+                            self.plan,
+                            self._options,
+                            self.profiler.enabled,
+                            task_queue,
+                            result_queue,
+                        ),
+                        daemon=True,
                     )
-                summaries.append((worker_id, payload))
-            for proc in procs:
-                proc.join()
+                    proc.start()
+                    procs.append(proc)
+            with self.profiler.lane_span("enqueue-tasks"):
+                for task in tasks:
+                    task_queue.put(task)
+                for _ in procs:
+                    task_queue.put(None)
+
+            with self.profiler.lane_span("drain-results"):
+                while len(summaries) < len(procs):
+                    try:
+                        kind, worker_id, payload = result_queue.get(
+                            timeout=1.0
+                        )
+                    except Exception:
+                        dead = [
+                            p for p in procs
+                            if p.exitcode not in (0, None)
+                        ]
+                        if dead:  # pragma: no cover - hard crash path
+                            raise RuntimeError(
+                                f"{len(dead)} mining worker(s) died with "
+                                f"exit codes "
+                                f"{[p.exitcode for p in dead]}"
+                            )
+                        continue
+                    if kind == "error":
+                        raise RuntimeError(
+                            f"mining worker {worker_id} failed:\n{payload}"
+                        )
+                    summaries.append((worker_id, payload))
+                for proc in procs:
+                    proc.join()
         finally:
             for proc in procs:
                 if proc.is_alive():  # pragma: no cover - error cleanup
@@ -401,6 +470,7 @@ def mine_parallel(
     roots: Optional[Sequence[int]] = None,
     tracer=None,
     metrics=None,
+    profiler=None,
 ) -> MiningResult:
     """Convenience wrapper: parallel-mine a plan over a graph."""
     miner = ParallelMiner(
@@ -410,5 +480,6 @@ def mine_parallel(
         split_degree=split_degree,
         tracer=tracer,
         metrics=metrics,
+        profiler=profiler,
     )
     return miner.mine(roots=roots)

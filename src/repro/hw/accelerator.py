@@ -14,7 +14,7 @@ from typing import Iterable, Optional
 from ..compiler.plan import ExecutionPlan, MultiPlan
 from ..errors import SimulationError
 from ..graph import CSRGraph, orient_by_degree
-from ..obs import NULL_REGISTRY, NULL_TRACER
+from ..obs import NULL_PROFILER, NULL_REGISTRY, NULL_TRACER
 from ..obs.trace import SIM_PID
 from .config import FlexMinerConfig
 from .mem import MemorySystem
@@ -122,8 +122,10 @@ class FlexMinerAccelerator:
     Chrome trace-event form: one trace thread per PE with task/stall/
     set-op/c-map intervals in the cycle domain, plus sampled NoC/DRAM/L2
     counter tracks.  ``metrics`` (a :class:`repro.obs.MetricsRegistry`)
-    receives the final report under ``sim.*`` gauges.  Both default to
-    no-ops; enabling them never changes counts, cycles or counters.
+    receives the final report under ``sim.*`` gauges.  ``profiler`` (a
+    :class:`repro.obs.PhaseProfiler`) attributes the wall-clock cost of
+    the setup and simulate phases.  All default to no-ops; enabling
+    them never changes counts, cycles or counters.
     """
 
     def __init__(
@@ -134,6 +136,7 @@ class FlexMinerAccelerator:
         *,
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> None:
         if not isinstance(plan, (ExecutionPlan, MultiPlan)):
             raise SimulationError("plan must be an ExecutionPlan or MultiPlan")
@@ -142,22 +145,30 @@ class FlexMinerAccelerator:
         self.config = config or FlexMinerConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
-        oriented = isinstance(plan, ExecutionPlan) and plan.oriented
-        self._work_graph = orient_by_degree(graph) if oriented else graph
-        self.memsys = MemorySystem(self.config, graph)
-        self.pes = [
-            ProcessingElement(
-                i,
-                graph,
-                plan,
-                self.config,
-                self.memsys,
-                work_graph=self._work_graph,
-                tracer=self.tracer,
+        self.profiler = (
+            profiler if profiler is not None else NULL_PROFILER
+        )
+        with self.profiler.phase(
+            "sim-setup", pes=self.config.num_pes
+        ):
+            oriented = isinstance(plan, ExecutionPlan) and plan.oriented
+            self._work_graph = (
+                orient_by_degree(graph) if oriented else graph
             )
-            for i in range(self.config.num_pes)
-        ]
-        self.scheduler = Scheduler(self.pes)
+            self.memsys = MemorySystem(self.config, graph)
+            self.pes = [
+                ProcessingElement(
+                    i,
+                    graph,
+                    plan,
+                    self.config,
+                    self.memsys,
+                    work_graph=self._work_graph,
+                    tracer=self.tracer,
+                )
+                for i in range(self.config.num_pes)
+            ]
+            self.scheduler = Scheduler(self.pes)
         if self.tracer.enabled:
             self.memsys.attach_tracer(self.tracer)
             self.tracer.process_name(
@@ -182,7 +193,13 @@ class FlexMinerAccelerator:
         tasks = Scheduler.order_tasks(
             self._work_graph, roots, split_degree=split
         )
-        with self.tracer.span("simulate", cat="phase"):
+        # One "simulate" span either way: the profiler's phase mirrors
+        # into its own tracer when it is enabled.
+        if self.profiler.enabled:
+            span = self.profiler.phase("simulate", tasks=len(tasks))
+        else:
+            span = self.tracer.span("simulate", cat="phase")
+        with span:
             makespan = self.scheduler.run(tasks)
         if self.tracer.enabled:
             self.tracer.complete(
@@ -214,13 +231,16 @@ def simulate(
     roots: Optional[Iterable[int]] = None,
     tracer=None,
     metrics=None,
+    profiler=None,
 ) -> SimReport:
     """Build an accelerator and run one simulation.
 
-    ``tracer``/``metrics`` are optional observability sinks (see
-    :class:`FlexMinerAccelerator`); they never affect simulated results.
+    ``tracer``/``metrics``/``profiler`` are optional observability
+    sinks (see :class:`FlexMinerAccelerator`); they never affect
+    simulated results.
     """
     accel = FlexMinerAccelerator(
-        graph, plan, config, tracer=tracer, metrics=metrics
+        graph, plan, config, tracer=tracer, metrics=metrics,
+        profiler=profiler,
     )
     return accel.run(roots)

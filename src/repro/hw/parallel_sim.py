@@ -34,7 +34,13 @@ the CSR arrays cross into workers via POSIX shared memory, never a pipe.
 
 Tracing (``repro.obs``) hooks into simulator internals that the trace
 phase bypasses, so ``simulate_parallel`` does not accept a tracer;
-callers that need a trace run the serial :func:`repro.hw.simulate`.
+callers that need a cycle-domain trace run the serial
+:func:`repro.hw.simulate`.  It does accept a
+:class:`repro.obs.PhaseProfiler`: phases (setup / trace / replay /
+merge) are attributed on the parent and — when the profiler carries a
+tracer — each trace worker ships its wall-clock span stream back for a
+per-worker lane in the merged Chrome trace.  Profiling never changes
+the report (tested zero-drift).
 """
 
 from __future__ import annotations
@@ -56,7 +62,8 @@ from ..graph import (
     orient_by_degree,
     share_array,
 )
-from ..obs import NULL_REGISTRY
+from ..obs import NULL_PROFILER, NULL_REGISTRY
+from ..obs.prof import LaneRecorder, task_label
 from .accelerator import build_report, filter_roots
 from .cache import SetAssocCache
 from .cmap import HardwareCMap
@@ -102,6 +109,13 @@ _CMAP_STAT_FIELDS = (
 
 def _task_key(task: Task) -> Tuple:
     return task if isinstance(task, tuple) else (int(task), None, None)
+
+
+def _task_parts(task: Task) -> Tuple[int, Optional[Tuple[int, int]]]:
+    """(root, chunk) view of a scheduler task for span labeling."""
+    if isinstance(task, tuple):
+        return int(task[0]), (int(task[1]), int(task[2]))
+    return int(task), None
 
 
 class _TracePE(ProcessingElement):
@@ -232,10 +246,20 @@ class _ShardTrace:
         return events, self.stats[i].tolist(), self.counts[i].tolist()
 
 
-def _trace_shard(tracer_pe: _TracePE, tasks: Sequence[Task], num_patterns):
+def _trace_shard(
+    tracer_pe: _TracePE,
+    tasks: Sequence[Task],
+    num_patterns: int,
+    rec: Optional[LaneRecorder] = None,
+):
     shard = _ShardTrace(num_patterns)
     for task in tasks:
-        shard.add(*tracer_pe.trace_task(task))
+        if rec is not None:
+            root, chunk = _task_parts(task)
+            with rec.span(task_label(root, chunk), cat="task"):
+                shard.add(*tracer_pe.trace_task(task))
+        else:
+            shard.add(*tracer_pe.trace_task(task))
     shard.seal()
     return shard
 
@@ -249,21 +273,37 @@ def _trace_worker(
     config: FlexMinerConfig,
     tasks: Sequence[Task],
     num_patterns: int,
+    profile: bool,
     result_queue,
 ) -> None:
-    """Worker main: attach shared CSR buffers, trace the shard, report."""
+    """Worker main: attach shared CSR buffers, trace the shard, report.
+
+    With ``profile`` the shard is accompanied by the worker's recorded
+    span stream (shm attach plus one span per traced task); the spans
+    are side recordings and never influence the shard itself.
+    """
     try:
-        graph = attach_shared_csr(spec)
-        if labels_spec is not None:
-            labels, handle = attach_array(labels_spec)
-            graph._shm = graph._shm + (handle,)
-            graph = LabeledGraph(graph, labels)
-        work_graph = (
-            attach_shared_csr(work_spec) if work_spec is not None else None
+        rec = LaneRecorder()
+        with rec.span("attach-shm"):
+            graph = attach_shared_csr(spec)
+            if labels_spec is not None:
+                labels, handle = attach_array(labels_spec)
+                graph._shm = graph._shm + (handle,)
+                graph = LabeledGraph(graph, labels)
+            work_graph = (
+                attach_shared_csr(work_spec)
+                if work_spec is not None
+                else None
+            )
+            tracer_pe = _TracePE(
+                graph, plan, config, work_graph=work_graph
+            )
+        shard = _trace_shard(
+            tracer_pe, tasks, num_patterns, rec if profile else None
         )
-        tracer_pe = _TracePE(graph, plan, config, work_graph=work_graph)
-        shard = _trace_shard(tracer_pe, tasks, num_patterns)
-        result_queue.put(("done", worker_id, shard))
+        result_queue.put(
+            ("done", worker_id, (shard, rec.spans if profile else None))
+        )
     except BaseException:  # pragma: no cover - exercised via error path
         result_queue.put(("error", worker_id, traceback.format_exc()))
 
@@ -414,11 +454,16 @@ def _trace_in_processes(
     tasks: Sequence[Task],
     num_patterns: int,
     workers: int,
-) -> List[_ShardTrace]:
-    """Fan the task shards out to worker processes; shards by worker id."""
+    profiler=NULL_PROFILER,
+) -> List[Tuple[_ShardTrace, Optional[list]]]:
+    """Fan the task shards out to worker processes; shards by worker id.
+
+    Returns one ``(shard, spans)`` pair per worker; spans are ``None``
+    unless the profiler is enabled.
+    """
     ctx = _fork_context()
     shared: List = []
-    shards: Dict[int, _ShardTrace] = {}
+    shards: Dict[int, Tuple[_ShardTrace, Optional[list]]] = {}
     procs = []
     try:
         topo_buffers = SharedCSRBuffers(topology)
@@ -434,43 +479,50 @@ def _trace_in_processes(
             work_spec = work_buffers.spec
 
         result_queue = ctx.Queue()
-        for worker_id in range(workers):
-            proc = ctx.Process(
-                target=_trace_worker,
-                args=(
-                    worker_id,
-                    topo_buffers.spec,
-                    labels_spec,
-                    work_spec,
-                    plan,
-                    config,
-                    list(tasks[worker_id::workers]),
-                    num_patterns,
-                    result_queue,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            procs.append(proc)
-
-        while len(shards) < len(procs):
-            try:
-                kind, worker_id, payload = result_queue.get(timeout=1.0)
-            except Exception:
-                dead = [p for p in procs if p.exitcode not in (0, None)]
-                if dead:  # pragma: no cover - hard crash path
-                    raise RuntimeError(
-                        f"{len(dead)} sim trace worker(s) died with exit "
-                        f"codes {[p.exitcode for p in dead]}"
-                    )
-                continue
-            if kind == "error":
-                raise RuntimeError(
-                    f"sim trace worker {worker_id} failed:\n{payload}"
+        with profiler.lane_span("spawn-workers"):
+            for worker_id in range(workers):
+                proc = ctx.Process(
+                    target=_trace_worker,
+                    args=(
+                        worker_id,
+                        topo_buffers.spec,
+                        labels_spec,
+                        work_spec,
+                        plan,
+                        config,
+                        list(tasks[worker_id::workers]),
+                        num_patterns,
+                        profiler.enabled,
+                        result_queue,
+                    ),
+                    daemon=True,
                 )
-            shards[worker_id] = payload
-        for proc in procs:
-            proc.join()
+                proc.start()
+                procs.append(proc)
+
+        with profiler.lane_span("drain-results"):
+            while len(shards) < len(procs):
+                try:
+                    kind, worker_id, payload = result_queue.get(
+                        timeout=1.0
+                    )
+                except Exception:
+                    dead = [
+                        p for p in procs if p.exitcode not in (0, None)
+                    ]
+                    if dead:  # pragma: no cover - hard crash path
+                        raise RuntimeError(
+                            f"{len(dead)} sim trace worker(s) died with "
+                            f"exit codes {[p.exitcode for p in dead]}"
+                        )
+                    continue
+                if kind == "error":
+                    raise RuntimeError(
+                        f"sim trace worker {worker_id} failed:\n{payload}"
+                    )
+                shards[worker_id] = payload
+            for proc in procs:
+                proc.join()
     finally:
         for proc in procs:
             if proc.is_alive():  # pragma: no cover - error cleanup
@@ -506,6 +558,7 @@ def simulate_parallel(
     workers: int = 1,
     roots: Optional[Sequence[int]] = None,
     metrics=None,
+    profiler=None,
 ) -> SimReport:
     """Simulate with the trace phase spread over ``workers`` processes.
 
@@ -513,51 +566,81 @@ def simulate_parallel(
     :func:`repro.hw.simulate` with the same arguments, for any worker
     count — counts, cycles, per-PE breakdowns, cache/NoC/DRAM counters
     and all derived rates.  ``workers=1`` traces in-process (no fork)
-    but still exercises the full encode/replay pipeline.
+    but still exercises the full encode/replay pipeline.  An enabled
+    ``profiler`` attributes the setup/trace/replay/merge phases and, if
+    it carries a tracer, emits one wall-clock lane per trace worker;
+    the report stays bit-identical either way.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    config = config or FlexMinerConfig()
-    metrics = metrics if metrics is not None else NULL_REGISTRY
-    split = config.task_split_degree
-    if split is not None and isinstance(plan, MultiPlan):
-        raise SimulationError("task splitting requires a single-pattern plan")
-    num_patterns = (
-        plan.num_patterns if isinstance(plan, MultiPlan) else 1
-    )
-    oriented = not isinstance(plan, MultiPlan) and plan.oriented
-    topology = graph.graph if isinstance(graph, LabeledGraph) else graph
-    work_graph = orient_by_degree(topology) if oriented else topology
-    roots = filter_roots(plan, graph, work_graph, roots)
-    tasks = Scheduler.order_tasks(work_graph, roots, split_degree=split)
+    profiler = profiler if profiler is not None else NULL_PROFILER
+    with profiler.phase("setup", workers=workers):
+        config = config or FlexMinerConfig()
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        split = config.task_split_degree
+        if split is not None and isinstance(plan, MultiPlan):
+            raise SimulationError(
+                "task splitting requires a single-pattern plan"
+            )
+        num_patterns = (
+            plan.num_patterns if isinstance(plan, MultiPlan) else 1
+        )
+        oriented = not isinstance(plan, MultiPlan) and plan.oriented
+        topology = (
+            graph.graph if isinstance(graph, LabeledGraph) else graph
+        )
+        work_graph = orient_by_degree(topology) if oriented else topology
+        roots = filter_roots(plan, graph, work_graph, roots)
+        tasks = Scheduler.order_tasks(
+            work_graph, roots, split_degree=split
+        )
 
     # Phase 1: trace.
-    if workers == 1 or len(tasks) < 2:
-        tracer_pe = _TracePE(graph, plan, config, work_graph=work_graph)
-        shards = [_trace_shard(tracer_pe, tasks, num_patterns)]
-        shard_tasks = [tasks]
-    else:
-        labels = getattr(graph, "labels", None)
-        shards = _trace_in_processes(
-            topology, labels, work_graph, plan, config, tasks,
-            num_patterns, workers,
-        )
-        shard_tasks = [tasks[w::workers] for w in range(workers)]
-
-    traces: Dict[Tuple, Tuple] = {}
-    for shard, assigned in zip(shards, shard_tasks):
-        for i, task in enumerate(assigned):
-            traces[_task_key(task)] = shard.task(i)
+    with profiler.phase("trace", tasks=len(tasks), workers=workers):
+        if workers == 1 or len(tasks) < 2:
+            rec = LaneRecorder()
+            with rec.span("attach-shm"):
+                tracer_pe = _TracePE(
+                    graph, plan, config, work_graph=work_graph
+                )
+            shards = [
+                _trace_shard(
+                    tracer_pe, tasks, num_patterns,
+                    rec if profiler.enabled else None,
+                )
+            ]
+            shard_tasks = [tasks]
+            lanes = [(0, rec.spans if profiler.enabled else None)]
+        else:
+            labels = getattr(graph, "labels", None)
+            payloads = _trace_in_processes(
+                topology, labels, work_graph, plan, config, tasks,
+                num_patterns, workers, profiler=profiler,
+            )
+            shards = [shard for shard, _spans in payloads]
+            lanes = list(enumerate(spans for _shard, spans in payloads))
+            shard_tasks = [tasks[w::workers] for w in range(workers)]
+        if profiler.enabled:
+            profiler.init_lanes(len(lanes))
+            for worker_id, spans in lanes:
+                profiler.add_lane(worker_id, spans)
 
     # Phase 2: replay (serial; identical order to the serial simulator).
-    memsys = MemorySystem(config, topology)
-    pes = [
-        _ReplayPE(i, config, memsys, num_patterns, traces)
-        for i in range(config.num_pes)
-    ]
-    makespan = Scheduler(pes).run(tasks)
-    report = build_report(pes, memsys, config, num_patterns, makespan)
-    metrics.absorb(report.as_dict(), prefix="sim.")
-    metrics.gauge("sim.parallel.workers").set(workers)
-    metrics.gauge("sim.parallel.tasks").set(len(tasks))
+    with profiler.phase("replay", tasks=len(tasks)):
+        traces: Dict[Tuple, Tuple] = {}
+        for shard, assigned in zip(shards, shard_tasks):
+            for i, task in enumerate(assigned):
+                traces[_task_key(task)] = shard.task(i)
+        memsys = MemorySystem(config, topology)
+        pes = [
+            _ReplayPE(i, config, memsys, num_patterns, traces)
+            for i in range(config.num_pes)
+        ]
+        makespan = Scheduler(pes).run(tasks)
+
+    with profiler.phase("merge"):
+        report = build_report(pes, memsys, config, num_patterns, makespan)
+        metrics.absorb(report.as_dict(), prefix="sim.")
+        metrics.gauge("sim.parallel.workers").set(workers)
+        metrics.gauge("sim.parallel.tasks").set(len(tasks))
     return report

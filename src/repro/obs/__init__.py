@@ -11,7 +11,12 @@ bench harness all report through:
 * :mod:`repro.obs.report` — machine-readable run-report envelope plus
   flatten/diff/render helpers (the ``flexminer stats`` backend);
 * :mod:`repro.obs.log` — ``repro.*`` debug log channel driven by the
-  ``REPRO_LOG`` environment variable.
+  ``REPRO_LOG`` environment variable;
+* :mod:`repro.obs.prof` — cross-process profiling: phase attribution
+  (wall/CPU/RSS) plus worker trace lanes merged into one Chrome trace
+  (the ``flexminer profile`` backend, ``NULL_PROFILER`` when disabled);
+* :mod:`repro.obs.trend` — append-only ``BENCH_history.jsonl`` recorder
+  and the ``flexminer bench-trend`` regression gate.
 """
 
 from .log import ENV_VAR, configure, get_logger
@@ -21,6 +26,16 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NULL_REGISTRY,
+)
+from .prof import (
+    LaneRecorder,
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseRecord,
+    WORKERS_PID,
+    event_key,
+    trace_event_set,
 )
 from .report import (
     SCHEMA,
@@ -40,6 +55,15 @@ from .trace import (
     SIM_PID,
     Tracer,
     validate_trace,
+)
+from .trend import (
+    CellTrend,
+    compute_trends,
+    extract_cells,
+    load_history,
+    record_report,
+    regressions,
+    render_trends,
 )
 
 __all__ = [
@@ -66,4 +90,19 @@ __all__ = [
     "NULL_TRACER",
     "Tracer",
     "validate_trace",
+    "WORKERS_PID",
+    "LaneRecorder",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "event_key",
+    "trace_event_set",
+    "CellTrend",
+    "compute_trends",
+    "extract_cells",
+    "load_history",
+    "record_report",
+    "regressions",
+    "render_trends",
 ]

@@ -108,6 +108,38 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the power-of-two buckets.
+
+        Walks the buckets in value order to the target rank and
+        interpolates linearly inside the covering bucket's range, then
+        clamps to the observed min/max (so small samples cannot report
+        values outside what was actually seen).  Exact when a bucket
+        holds one distinct value; otherwise within one octave.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0.0
+        for bucket in sorted(self.buckets):
+            n = self.buckets[bucket]
+            lo = 0.0 if bucket == 0 else float(2 ** (bucket - 1))
+            hi = 1.0 if bucket == 0 else float(2 ** bucket)
+            if seen + n >= target:
+                frac = (target - seen) / n if n else 0.0
+                value = lo + frac * (hi - lo)
+                break
+            seen += n
+        else:  # pragma: no cover - loop always covers count
+            value = float(self.max or 0)
+        if self.min is not None:
+            value = max(value, float(self.min))
+        if self.max is not None:
+            value = min(value, float(self.max))
+        return value
+
     def get(self) -> Dict[str, Number]:
         return {
             "count": self.count,
@@ -115,6 +147,9 @@ class Histogram:
             "min": self.min if self.min is not None else 0,
             "max": self.max if self.max is not None else 0,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 

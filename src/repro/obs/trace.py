@@ -45,6 +45,7 @@ class NullTracer:
 
     enabled = False
     dropped = 0
+    origin_s = 0.0
 
     def begin(self, name, ts, **kwargs) -> None:
         pass
@@ -106,6 +107,15 @@ class Tracer:
         self._events: List[dict] = []
         self._meta: List[dict] = []
         self._t0 = time.perf_counter()
+
+    @property
+    def origin_s(self) -> float:
+        """Absolute ``perf_counter`` stamp of the tracer's time zero.
+
+        Lets cross-process span streams (``repro.obs.prof``) map their
+        absolute timestamps onto this tracer's timeline.
+        """
+        return self._t0
 
     # ------------------------------------------------------------------
     # Clocks

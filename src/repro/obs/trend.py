@@ -1,0 +1,279 @@
+"""Bench trend tracking: an append-only history plus a regression gate.
+
+``BENCH_engine.json`` / ``BENCH_sim.json`` capture one point in time;
+nothing trends them.  This module adds the missing trajectory artifact:
+
+* :func:`record_report` appends one JSONL line per timing cell of a
+  bench report to ``BENCH_history.jsonl``, keyed by
+  ``(cell, git sha, host)`` — append, never overwrite, so the file is a
+  longitudinal log that survives reruns and merges trivially.
+* :func:`compute_trends` compares each cell's newest sample on this
+  host against the median of up to ``window`` prior samples.
+* :func:`regressions` filters trends slower than a percentage
+  threshold — the ``flexminer bench-trend`` exit-code gate (CI runs it
+  report-only on PRs).
+
+Cells are extracted generically: every flattened numeric key of the
+report ending in ``seconds`` is one timing cell (``cells.4-CL_As.
+kernel_seconds``, ``cell.4-CL_As.parallel.4.seconds``, …), so new bench
+payload shapes trend automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from .report import flatten
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "DEFAULT_THRESHOLD_PCT",
+    "DEFAULT_WINDOW",
+    "CellTrend",
+    "compute_trends",
+    "current_host",
+    "current_sha",
+    "extract_cells",
+    "load_history",
+    "record_report",
+    "regressions",
+    "render_trends",
+]
+
+#: Default history location (committed alongside the seed BENCH jsons).
+DEFAULT_HISTORY = os.path.join(
+    "benchmarks", "results", "BENCH_history.jsonl"
+)
+
+#: A cell must slow down by more than this vs. its baseline to gate.
+DEFAULT_THRESHOLD_PCT = 25.0
+
+#: How many prior samples the per-cell baseline median draws from.
+DEFAULT_WINDOW = 5
+
+
+def current_sha(cwd: Optional[str] = None) -> str:
+    """Short git sha of HEAD, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def current_host() -> str:
+    return platform.node() or "unknown"
+
+
+def extract_cells(report: Mapping[str, object]) -> Dict[str, float]:
+    """Timing cells of a bench report: flattened ``*seconds`` leaves.
+
+    The envelope's ``meta.*`` keys and non-positive values are skipped
+    (a zero duration is a degenerate measurement, not a cell).
+    """
+    cells: Dict[str, float] = {}
+    for key, value in flatten(report).items():
+        if key.startswith("meta."):
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        leaf = key.rsplit(".", 1)[-1]
+        if not leaf.endswith("seconds"):
+            continue
+        if value <= 0:
+            continue
+        cell = key[5:] if key.startswith("data.") else key
+        cells[cell] = float(value)
+    return cells
+
+
+def record_report(
+    history_path: str,
+    report: Mapping[str, object],
+    *,
+    sha: Optional[str] = None,
+    host: Optional[str] = None,
+    timestamp: Optional[float] = None,
+    source: Optional[str] = None,
+) -> int:
+    """Append one history line per timing cell; returns lines written.
+
+    The file is opened in append mode — recording twice extends the
+    trajectory rather than replacing it.
+    """
+    cells = extract_cells(report)
+    if not cells:
+        return 0
+    entry_base = {
+        "sha": sha if sha is not None else current_sha(),
+        "host": host if host is not None else current_host(),
+        "ts": timestamp if timestamp is not None else time.time(),
+        "source": source
+        if source is not None
+        else str(report.get("kind", "unknown")),
+    }
+    parent = os.path.dirname(history_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(history_path, "a") as f:
+        for cell in sorted(cells):
+            line = dict(entry_base, cell=cell, seconds=cells[cell])
+            f.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(cells)
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL history; malformed or foreign lines are skipped."""
+    entries: List[Dict[str, object]] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                isinstance(parsed, dict)
+                and isinstance(parsed.get("cell"), str)
+                and isinstance(parsed.get("seconds"), (int, float))
+            ):
+                entries.append(parsed)
+    return entries
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class CellTrend:
+    """Latest sample of one cell vs. its recent-history baseline."""
+
+    cell: str
+    host: str
+    latest: float
+    latest_sha: str
+    baseline: Optional[float]  #: median of prior window; None if first
+    samples: int  #: prior samples the baseline summarizes
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        if self.baseline is None or self.baseline <= 0:
+            return None
+        return 100.0 * (self.latest - self.baseline) / self.baseline
+
+    def regressed(self, threshold_pct: float) -> bool:
+        delta = self.delta_pct
+        return delta is not None and delta > threshold_pct
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cell": self.cell,
+            "host": self.host,
+            "latest_seconds": self.latest,
+            "latest_sha": self.latest_sha,
+            "baseline_seconds": self.baseline,
+            "baseline_samples": self.samples,
+            "delta_pct": self.delta_pct,
+        }
+
+
+def compute_trends(
+    entries: List[Dict[str, object]],
+    *,
+    window: int = DEFAULT_WINDOW,
+    host: Optional[str] = None,
+) -> List[CellTrend]:
+    """Per-cell trend of the newest sample vs. up to ``window`` priors.
+
+    Samples are grouped by ``(cell, host)`` — wall-clock numbers from
+    different machines never compare against each other.  ``host``
+    restricts the result to one machine (default: every host that has a
+    newest sample).  File order is chronological (append-only log), so
+    the last entry per group is the newest.
+    """
+    groups: Dict[tuple, List[Dict[str, object]]] = {}
+    for entry in entries:
+        key = (str(entry["cell"]), str(entry.get("host", "unknown")))
+        groups.setdefault(key, []).append(entry)
+    trends: List[CellTrend] = []
+    for (cell, entry_host), samples in sorted(groups.items()):
+        if host is not None and entry_host != host:
+            continue
+        latest = samples[-1]
+        prior = samples[:-1][-window:] if window > 0 else samples[:-1]
+        baseline = (
+            _median([float(e["seconds"]) for e in prior])
+            if prior
+            else None
+        )
+        trends.append(
+            CellTrend(
+                cell=cell,
+                host=entry_host,
+                latest=float(latest["seconds"]),
+                latest_sha=str(latest.get("sha", "unknown")),
+                baseline=baseline,
+                samples=len(prior),
+            )
+        )
+    return trends
+
+
+def regressions(
+    trends: List[CellTrend],
+    *,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> List[CellTrend]:
+    """Trends slower than ``threshold_pct`` vs. their baseline."""
+    return [t for t in trends if t.regressed(threshold_pct)]
+
+
+def render_trends(
+    trends: List[CellTrend],
+    *,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> str:
+    """Text table of cell trends; regressions are flagged inline."""
+    if not trends:
+        return "bench-trend: no history"
+    width = max(len(t.cell) for t in trends)
+    lines = [
+        f"{'cell':<{width}s}{'latest ms':>12s}{'base ms':>12s}"
+        f"{'delta':>9s}{'n':>4s}  host"
+    ]
+    for t in trends:
+        delta = t.delta_pct
+        if delta is None:
+            delta_text = "new"
+        else:
+            delta_text = f"{delta:+.1f}%"
+        flag = " <-- REGRESSION" if t.regressed(threshold_pct) else ""
+        base = f"{t.baseline * 1e3:.3f}" if t.baseline is not None else "-"
+        lines.append(
+            f"{t.cell:<{width}s}{t.latest * 1e3:>12.3f}{base:>12s}"
+            f"{delta_text:>9s}{t.samples:>4d}  {t.host}{flag}"
+        )
+    return "\n".join(lines)

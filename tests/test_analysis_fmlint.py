@@ -132,7 +132,7 @@ class TestWallclock:
     @pytest.mark.parametrize(
         "call",
         [
-            "time.perf_counter()",
+            "time.time()",
             "random.random()",
             "datetime.datetime.now()",
             "np.random.default_rng()",
@@ -142,12 +142,61 @@ class TestWallclock:
     def test_nondeterminism_in_hw_flagged(self, call):
         assert codes(f"x = {call}\n", path=HW) == ["FM205"]
 
+    def test_timing_call_in_hw_hits_both_rules(self):
+        # Wall clocks in the simulator are both nondeterminism (FM205)
+        # and a profiling bypass (FM206).
+        assert codes("t = time.perf_counter()\n", path=HW) == [
+            "FM205",
+            "FM206",
+        ]
+
     def test_pure_math_passes(self):
         assert codes("x = math.sqrt(2.0)\n", path=HW) == []
 
     def test_rule_scoped_to_hw_only(self):
-        # The engine harness may time itself; the simulator may not.
-        assert codes("t = time.perf_counter()\n", path=ENGINE) == []
+        # time.time() in the engine is FM206's business, not FM205's —
+        # and only for the profiled clock functions.
+        assert codes("t = time.time()\n", path=ENGINE) == []
+
+
+class TestDirectTiming:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "time.perf_counter()",
+            "time.perf_counter_ns()",
+            "time.process_time()",
+            "time.monotonic()",
+        ],
+    )
+    def test_dotted_call_in_engine_flagged(self, call):
+        assert codes(f"t = {call}\n", path=ENGINE) == ["FM206"]
+
+    def test_from_import_alias_flagged(self):
+        src = "from time import perf_counter\n\nt = perf_counter()\n"
+        assert codes(src, path=ENGINE) == ["FM206"]
+
+    def test_from_import_asname_flagged(self):
+        src = "from time import perf_counter as clock\n\nt = clock()\n"
+        assert codes(src, path=ENGINE) == ["FM206"]
+
+    def test_bare_name_without_time_import_passes(self):
+        # perf_counter from some local helper is not the time module
+        assert codes("t = perf_counter()\n", path=ENGINE) == []
+
+    def test_non_timing_time_attr_passes(self):
+        assert codes("s = time.strftime('%Y')\n", path=ENGINE) == []
+
+    def test_rule_scoped_to_engine_and_hw(self):
+        # repro.obs is the sanctioned home for wall-clock reads; the
+        # bench harness may also time itself.
+        src = "t = time.perf_counter()\n"
+        assert codes(src, path=OTHER) == []
+        assert codes(src, path="src/repro/bench/harness.py") == []
+
+    def test_line_disable(self):
+        src = "t = time.perf_counter()  # fmlint: disable=FM206\n"
+        assert codes(src, path=ENGINE) == []
 
 
 class TestSuppression:

@@ -1,0 +1,231 @@
+"""Tests for repro.obs.trend and the ``flexminer bench-trend`` gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import make_report, write_report
+from repro.obs.trend import (
+    CellTrend,
+    compute_trends,
+    extract_cells,
+    load_history,
+    record_report,
+    regressions,
+    render_trends,
+)
+
+REPORT = make_report(
+    "bench-engine",
+    {
+        "cells": {
+            "3-TR_As": {"kernel_seconds": 0.010, "total_seconds": 0.020},
+            "4-CL_As": {"kernel_seconds": 0.030},
+        },
+        "labels": {"3-TR_As": "triangle"},
+    },
+    meta={"seconds": 99.0, "host": "x"},
+)
+
+
+class TestExtractCells:
+    def test_seconds_leaves_only(self):
+        cells = extract_cells(REPORT)
+        assert cells == {
+            "cells.3-TR_As.kernel_seconds": 0.010,
+            "cells.3-TR_As.total_seconds": 0.020,
+            "cells.4-CL_As.kernel_seconds": 0.030,
+        }
+
+    def test_meta_and_nonpositive_skipped(self):
+        report = make_report(
+            "bench",
+            {"cells": {"a": {"kernel_seconds": 0.0}}},
+            meta={"seconds": 5.0},
+        )
+        assert extract_cells(report) == {}
+
+    def test_raw_dict_accepted(self):
+        assert extract_cells({"kernel_seconds": 1.5}) == {
+            "kernel_seconds": 1.5
+        }
+
+
+class TestRecordAndLoad:
+    def test_appends_not_overwrites(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        n1 = record_report(path, REPORT, sha="aaa", host="h", timestamp=1.0)
+        n2 = record_report(path, REPORT, sha="bbb", host="h", timestamp=2.0)
+        assert n1 == n2 == 3
+        entries = load_history(path)
+        assert len(entries) == 6
+        assert {e["sha"] for e in entries} == {"aaa", "bbb"}
+
+    def test_source_defaults_to_kind(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        record_report(path, REPORT, sha="a", host="h", timestamp=1.0)
+        assert load_history(path)[0]["source"] == "bench-engine"
+
+    def test_empty_report_writes_nothing(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        assert record_report(path, {"matches": 3}) == 0
+        assert load_history(path) == []
+
+    def test_load_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(
+            'not json\n{"cell": 5, "seconds": 1}\n'
+            '{"cell": "c", "seconds": 0.5}\n'
+        )
+        entries = load_history(str(path))
+        assert len(entries) == 1
+        assert entries[0]["cell"] == "c"
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+
+def _entry(cell, seconds, *, host="h", sha="s", ts=0.0):
+    return {"cell": cell, "seconds": seconds, "host": host,
+            "sha": sha, "ts": ts}
+
+
+class TestComputeTrends:
+    def test_first_sample_is_new(self):
+        (t,) = compute_trends([_entry("c", 1.0)])
+        assert t.baseline is None
+        assert t.delta_pct is None
+        assert t.samples == 0
+        assert not t.regressed(25.0)
+
+    def test_baseline_is_median_of_window(self):
+        entries = [_entry("c", s) for s in (1.0, 3.0, 2.0, 10.0)]
+        (t,) = compute_trends(entries, window=3)
+        assert t.latest == 10.0
+        assert t.baseline == 2.0  # median of (1, 3, 2)
+        assert t.samples == 3
+        assert t.delta_pct == pytest.approx(400.0)
+
+    def test_window_limits_baseline(self):
+        entries = [_entry("c", s) for s in (100.0, 1.0, 1.0, 1.0, 1.0)]
+        (t,) = compute_trends(entries, window=3)
+        assert t.baseline == 1.0  # the 100.0 outlier aged out
+
+    def test_hosts_never_compare(self):
+        entries = [
+            _entry("c", 1.0, host="fast"),
+            _entry("c", 50.0, host="slow"),
+        ]
+        trends = compute_trends(entries)
+        assert all(t.baseline is None for t in trends)
+        assert {t.host for t in trends} == {"fast", "slow"}
+
+    def test_host_filter(self):
+        entries = [
+            _entry("c", 1.0, host="a"),
+            _entry("c", 2.0, host="b"),
+        ]
+        trends = compute_trends(entries, host="a")
+        assert [t.host for t in trends] == ["a"]
+
+    def test_regressions_threshold(self):
+        entries = [_entry("c", 1.0), _entry("c", 1.2)]
+        trends = compute_trends(entries)
+        assert regressions(trends, threshold_pct=25.0) == []
+        assert len(regressions(trends, threshold_pct=10.0)) == 1
+
+    def test_render_flags_regression(self):
+        trends = [
+            CellTrend(cell="c", host="h", latest=2.0,
+                      latest_sha="s", baseline=1.0, samples=3),
+        ]
+        text = render_trends(trends, threshold_pct=25.0)
+        assert "REGRESSION" in text
+        assert "+100.0%" in text
+
+    def test_render_empty(self):
+        assert "no history" in render_trends([])
+
+
+class TestBenchTrendCli:
+    def _seed(self, tmp_path, seconds_list):
+        history = str(tmp_path / "hist.jsonl")
+        for i, s in enumerate(seconds_list):
+            report = make_report(
+                "bench-engine",
+                {"cells": {"tri": {"kernel_seconds": s}}},
+            )
+            record_report(history, report, sha=f"s{i}", host="ci",
+                          timestamp=float(i))
+        return history
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        history = self._seed(tmp_path, [0.010, 0.010, 0.010])
+        slow = make_report(
+            "bench-engine",
+            {"cells": {"tri": {"kernel_seconds": 0.050}}},
+        )
+        slow_path = str(tmp_path / "slow.json")
+        write_report(slow_path, slow)
+        rc = main([
+            "bench-trend", "--history", history,
+            "--record", slow_path, "--host", "ci", "--sha", "new",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_report_only_exits_zero(self, tmp_path, capsys):
+        history = self._seed(tmp_path, [0.010, 0.010, 0.050])
+        rc = main([
+            "bench-trend", "--history", history,
+            "--host", "ci", "--report-only",
+        ])
+        assert rc == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_steady_state_passes(self, tmp_path, capsys):
+        history = self._seed(tmp_path, [0.010, 0.011, 0.010])
+        rc = main(["bench-trend", "--history", history, "--host", "ci"])
+        assert rc == 0
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_new_cells_do_not_gate(self, tmp_path):
+        history = self._seed(tmp_path, [0.010])
+        assert main(
+            ["bench-trend", "--history", history, "--host", "ci"]
+        ) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        history = self._seed(tmp_path, [0.010, 0.050])
+        rc = main([
+            "bench-trend", "--history", history,
+            "--host", "ci", "--json", "--report-only",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "bench-trend"
+        trends = payload["data"]["trends"]
+        assert trends[0]["cell"] == "cells.tri.kernel_seconds"
+        assert payload["data"]["regressions"]
+
+    def test_missing_record_file_is_an_error(self, tmp_path, capsys):
+        history = str(tmp_path / "hist.jsonl")
+        rc = main([
+            "bench-trend", "--history", history,
+            "--record", str(tmp_path / "nope.json"),
+        ])
+        assert rc == 2
+
+    def test_record_appends_and_reports(self, tmp_path, capsys):
+        history = str(tmp_path / "hist.jsonl")
+        path = str(tmp_path / "r.json")
+        write_report(path, REPORT)
+        rc = main([
+            "bench-trend", "--history", history, "--record", path,
+            "--host", "ci", "--sha", "abc",
+        ])
+        assert rc == 0
+        assert len(load_history(history)) == 3
+        assert "recorded" in capsys.readouterr().err

@@ -133,6 +133,74 @@ class TestSimParallel:
         assert trace.exists()
 
 
+class TestProfile:
+    def test_profile_mine_trace_and_phase_table(self, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.obs import WORKERS_PID, validate_trace
+
+        trace = tmp_path / "prof.json"
+        assert main(
+            ["profile", "mine", "triangle", "--dataset", "As",
+             "--workers", "2", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+        assert "% wall" in out  # phase breakdown table
+        assert "mine" in out  # timeline + table name the phases
+        with open(trace) as f:
+            data = jsonlib.load(f)
+        assert validate_trace(data) == []
+        lanes = {
+            e["tid"]
+            for e in data["traceEvents"]
+            if e.get("pid") == WORKERS_PID and e.get("ph") == "X"
+        }
+        # coordinator rail plus one lane per worker
+        assert lanes == {0, 1, 2}
+
+    def test_profile_default_trace_path(self, tmp_path, monkeypatch,
+                                        capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["profile", "mine", "triangle", "--dataset", "As"]
+        ) == 0
+        assert (tmp_path / "profile_trace.json").exists()
+
+    def test_profile_sim(self, tmp_path, capsys):
+        trace = tmp_path / "prof.json"
+        assert main(
+            ["profile", "sim", "triangle", "--dataset", "As",
+             "--pes", "2", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "% wall" in out
+        assert trace.exists()
+
+    def test_profile_emit_json_carries_payload(self, tmp_path, capsys):
+        import json as jsonlib
+
+        assert main(
+            ["profile", "mine", "triangle", "--dataset", "As",
+             "--trace", str(tmp_path / "t.json"), "--emit-json"]
+        ) == 0
+        report = jsonlib.loads(capsys.readouterr().out)
+        assert report["meta"]["profiled"] is True
+        prof = report["data"]["profile"]
+        assert prof["enabled"] is True
+        assert prof["coverage"] > 0.0
+        assert any(p["name"] == "mine" for p in prof["phases"])
+
+    def test_profile_requires_subcommand(self, capsys):
+        assert main(["profile"]) == 2
+        assert "give a command" in capsys.readouterr().err
+
+    def test_profile_rejects_other_commands(self, capsys):
+        assert main(["profile", "compile", "triangle"]) == 2
+        assert "only mine" in capsys.readouterr().err
+
+
 class TestVerify:
     def test_smoke_ok(self, capsys):
         assert main(

@@ -71,6 +71,40 @@ class TestMetrics:
         # 1 -> bucket 0, 2 -> 1, 3 -> 2, 100 -> 7
         assert h.buckets == {0: 1, 1: 1, 2: 1, 7: 1}
 
+    def test_histogram_quantiles_in_get(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 9):
+            h.observe(v)
+        got = h.get()
+        assert got["p50"] == pytest.approx(4.0)
+        assert got["p90"] <= got["p99"] <= 8.0
+        assert got["p50"] <= got["p90"]
+
+    def test_quantile_exact_for_single_valued_bucket(self):
+        h = MetricsRegistry().histogram("lat")
+        for _ in range(8):
+            h.observe(4)
+        # interpolation lands inside (2, 4]; min/max clamp makes the
+        # single-valued distribution exact at every quantile
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 4.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(3)
+        h.observe(100)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(1.0) == 100.0
+        assert 3.0 <= h.quantile(0.5) <= 100.0
+
+    def test_quantile_empty_and_invalid(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
     def test_snapshot_and_as_dict(self):
         reg = MetricsRegistry()
         reg.counter("c", pe=1).inc(3)

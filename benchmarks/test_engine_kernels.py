@@ -1,7 +1,9 @@
 """Wall-clock bench for the CPU-engine kernel layer and parallel backend.
 
 Times the frozen pre-kernel engine (``LegacyEngine``) against the
-current serial engine and the multi-process ``ParallelMiner``, asserts
+current serial engine, the multi-process ``ParallelMiner`` (per-call
+spawn) and the warmed persistent ``MinerPool``, plus a request-stream
+cell separating steady-state throughput from cold-start; asserts
 count/counter parity, and writes the cross-PR diffable
 ``BENCH_engine.json`` artifact (plus a human-readable text summary under
 ``benchmarks/results/``).
@@ -24,14 +26,23 @@ def _render(payload) -> str:
             f"kernel {entry['kernel_seconds'] * 1e3:8.2f} ms "
             f"({entry['kernel_speedup']:.2f}x)"
         )
-        for workers, par in sorted(
-            entry["parallel"].items(), key=lambda kv: int(kv[0])
-        ):
-            lines.append(
-                f"    {workers} worker(s): {par['seconds'] * 1e3:8.2f} ms "
-                f"({par['speedup_vs_legacy']:.2f}x vs legacy, "
-                f"{par['speedup_vs_kernel']:.2f}x vs kernel)"
-            )
+        for mode in ("parallel", "pool"):
+            for workers, sub in sorted(
+                entry[mode].items(), key=lambda kv: int(kv[0])
+            ):
+                lines.append(
+                    f"    {mode} x{workers}: "
+                    f"{sub['seconds'] * 1e3:8.2f} ms "
+                    f"({sub['speedup_vs_legacy']:.2f}x vs legacy, "
+                    f"{sub['speedup_vs_kernel']:.2f}x vs kernel)"
+                )
+    for cell, stream in payload["stream"].items():
+        lines.append(
+            f"  stream {cell}: warm {stream['warm_cells_per_s']:.1f} "
+            f"cells/s vs spawn {stream['spawn_cells_per_s']:.1f} cells/s "
+            f"({stream['warm_vs_spawn_speedup']:.2f}x, dispatch "
+            f"{stream['dispatch_overhead_s'] * 1e6:.0f} us)"
+        )
     return "\n".join(lines)
 
 
@@ -47,6 +58,15 @@ def test_engine_kernel_bench(benchmark, harness, save_artifact):
     cell = payload["cells"]["4-CL_As"]
     assert cell["counts"] and cell["kernel_seconds"] > 0
     assert set(cell["parallel"]) == {"1", "2", "4"}
+    assert set(cell["pool"]) == {"1", "2", "4"}
+
+    # The stream cell must separate steady-state from cold-start and
+    # carry the calibrated dispatch-overhead constant in the envelope.
+    assert payload["stream"], "stream section missing"
+    stream = next(iter(payload["stream"].values()))
+    assert stream["warm_pool_seconds"] > 0
+    assert stream["spawn_seconds"] > 0
+    assert payload["dispatch_overhead_s"] >= 0
 
     # The artifact: next to the telemetry dir when set, else results/.
     results_dir = os.path.join(os.path.dirname(__file__), "results")

@@ -22,7 +22,11 @@ conventions nothing enforced until now:
 * **FM206** — no direct ``perf_counter``/``process_time``/``monotonic``
   calls in ``engine/``/``hw/`` (dotted or from-imported): timing flows
   through ``repro.obs`` (LaneRecorder / PhaseProfiler / Tracer) so the
-  profile is the single source of wall-clock truth.
+  profile is the single source of wall-clock truth;
+* **FM207** — no ``multiprocessing`` ``Process``/``Pool`` construction
+  in ``engine/`` outside :mod:`repro.engine.pool`: per-request process
+  spawning is exactly the overhead the persistent pool exists to
+  amortize, so all worker lifecycles live in one audited module.
 
 Rules are deliberately *syntactic*: they flag the patterns that caused
 (or nearly caused) real drift bugs, run in milliseconds, and are each
@@ -82,6 +86,13 @@ FM206 = register_code(
     "FM206", "direct wall-clock timing call outside repro.obs", "error",
     "route timing through repro.obs (LaneRecorder, PhaseProfiler or "
     "Tracer) so busy accounting and profiles share one clock",
+)
+FM207 = register_code(
+    "FM207", "worker process constructed outside repro.engine.pool",
+    "error",
+    "route worker lifecycles through repro.engine.pool (MinerPool, or "
+    "ParallelMiner's pool delegation); per-request Process/Pool spawns "
+    "re-pay the startup cost the persistent pool amortizes",
 )
 
 _SUPPRESS_RE = re.compile(
@@ -358,6 +369,50 @@ def _check_direct_timing(ctx: LintContext) -> Iterator[Tuple[int, str]]:
             )
 
 
+#: Constructors FM207 polices.  Matched on the attribute leaf of a
+#: dotted call (``mp.Process``, ``ctx.Pool``) and on bare names bound by
+#: ``from multiprocessing[...] import Process/Pool``.
+_PROCESS_CTORS = {"Process", "Pool"}
+
+
+def _check_process_construction(
+    ctx: LintContext,
+) -> Iterator[Tuple[int, str]]:
+    """FM207: Process/Pool construction in engine/ outside the pool.
+
+    :mod:`repro.engine.pool` is the one sanctioned home for worker
+    lifecycles (the ``paths`` scope cannot express exclusions, so the
+    carve-out lives here).
+    """
+    posix = ctx.path.replace(os.sep, "/")
+    if posix.endswith("engine/pool.py"):
+        return
+    bare: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "multiprocessing"
+            or node.module.startswith("multiprocessing.")
+        ):
+            for alias in node.names:
+                if alias.name in _PROCESS_CTORS:
+                    bare[alias.asname or alias.name] = alias.name
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if not name:
+            continue
+        if "." in name:
+            if name.rsplit(".", 1)[-1] in _PROCESS_CTORS:
+                yield (node.lineno, f"constructs {name}()")
+        elif name in bare:
+            yield (
+                node.lineno,
+                f"constructs {name}() "
+                f"(from-imported multiprocessing {bare[name]})",
+            )
+
+
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(
         FM201, _check_unordered_iteration, paths=("engine/", "hw/")
@@ -367,6 +422,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(FM204, _check_shared_memory),
     LintRule(FM205, _check_wallclock, paths=("hw/",)),
     LintRule(FM206, _check_direct_timing, paths=("engine/", "hw/")),
+    LintRule(FM207, _check_process_construction, paths=("engine/",)),
 )
 
 

@@ -18,7 +18,10 @@ the simulator returns a :class:`~repro.hw.report.SimReport`.  Both expose
 
 The ``"engine"`` backend additionally accepts ``workers=N`` to mine with
 the multi-process :class:`~repro.engine.parallel.ParallelMiner` over a
-shared-memory copy of the graph.
+shared-memory copy of the graph, or ``pool=`` — a resident
+:class:`~repro.engine.pool.MinerPool` — to serve the request from
+already-forked workers (a caller answering many app requests creates
+the pool once and passes it to every call).
 """
 
 from __future__ import annotations
@@ -62,14 +65,21 @@ def _run(
     config: Optional[FlexMinerConfig],
     collect: bool,
     workers: int = 1,
+    pool=None,
     profiler=None,
 ) -> Result:
-    if workers > 1 and backend != "engine":
+    if (workers > 1 or pool is not None) and backend != "engine":
         raise ConfigError(
-            "workers > 1 requires the 'engine' backend (the parallel "
-            "miner runs PatternAwareEngine workers)"
+            "workers > 1 (and pool=) require the 'engine' backend (the "
+            "parallel miner runs PatternAwareEngine workers)"
         )
     if backend == "engine":
+        if pool is not None:
+            if collect:
+                raise ConfigError(
+                    "the worker pool does not collect embeddings"
+                )
+            return pool.mine(plan)
         if workers > 1:
             if collect:
                 raise ConfigError(
@@ -102,12 +112,13 @@ def triangle_count(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    pool=None,
     profiler=None,
 ) -> Result:
     """TC: count triangles (3-cliques, orientation-optimized)."""
     return clique_count(
         graph, 3, backend=backend, config=config, workers=workers,
-        profiler=profiler,
+        pool=pool, profiler=profiler,
     )
 
 
@@ -118,6 +129,7 @@ def clique_count(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    pool=None,
     profiler=None,
 ) -> Result:
     """k-CL: count k-cliques using the orientation technique (§V-C)."""
@@ -132,6 +144,7 @@ def clique_count(
         config=config,
         collect=False,
         workers=workers,
+        pool=pool,
         profiler=profiler,
     )
 
@@ -144,6 +157,7 @@ def subgraph_list(
     config: Optional[FlexMinerConfig] = None,
     collect: bool = False,
     workers: int = 1,
+    pool=None,
     profiler=None,
 ) -> Result:
     """SL: enumerate edge-induced matches of an arbitrary pattern."""
@@ -157,6 +171,7 @@ def subgraph_list(
         config=config,
         collect=collect,
         workers=workers,
+        pool=pool,
         profiler=profiler,
     )
 
@@ -168,6 +183,7 @@ def motif_count(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    pool=None,
     profiler=None,
 ) -> Result:
     """k-MC: count every k-vertex motif simultaneously (multi-pattern)."""
@@ -181,6 +197,7 @@ def motif_count(
         config=config,
         collect=False,
         workers=workers,
+        pool=pool,
         profiler=profiler,
     )
 
@@ -194,29 +211,30 @@ def run_app(
     backend: str = "engine",
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
+    pool=None,
     profiler=None,
 ) -> Result:
     """Dispatch by app name: 'TC', 'k-CL', 'SL' or 'k-MC'."""
     if app == "TC":
         return triangle_count(
             graph, backend=backend, config=config, workers=workers,
-            profiler=profiler,
+            pool=pool, profiler=profiler,
         )
     if app == "k-CL":
         return clique_count(
             graph, k, backend=backend, config=config, workers=workers,
-            profiler=profiler,
+            pool=pool, profiler=profiler,
         )
     if app == "SL":
         if pattern is None:
             raise ConfigError("SL needs a pattern")
         return subgraph_list(
             graph, pattern, backend=backend, config=config,
-            workers=workers, profiler=profiler,
+            workers=workers, pool=pool, profiler=profiler,
         )
     if app == "k-MC":
         return motif_count(
             graph, k, backend=backend, config=config, workers=workers,
-            profiler=profiler,
+            pool=pool, profiler=profiler,
         )
     raise ConfigError(f"unknown app {app!r}; expected one of {APP_NAMES}")

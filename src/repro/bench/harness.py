@@ -161,6 +161,7 @@ class Harness:
         self._sim_cache: Dict[Tuple, SimReport] = {}
         self._cpu_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
         self._engine_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
+        self._stream_cache: Dict[Tuple, Dict[str, object]] = {}
 
     def plan(self, app: str):
         if app not in self._plans:
@@ -345,11 +346,17 @@ class Harness:
             for (app, dataset, mode, workers), (seconds, result)
             in self._engine_cache.items()
         }
+        stream_cells = {
+            f"{app}_{dataset}_stream_w{workers}": dict(entry)
+            for (app, dataset, workers), entry
+            in self._stream_cache.items()
+        }
         return {
             "quick_mode": quick_mode(),
             "sim": sim_cells,
             "cpu": cpu_cells,
             "engine": engine_cells,
+            "stream": stream_cells,
             "metrics": self.metrics.snapshot(),
         }
 
@@ -385,18 +392,21 @@ class Harness:
         """Wall-clock software-engine run for one cell (memoized).
 
         ``mode`` is ``"legacy"`` (frozen pre-kernel engine),
-        ``"kernel"`` (current serial engine) or ``"parallel"``
+        ``"kernel"`` (current serial engine), ``"parallel"``
         (:class:`~repro.engine.parallel.ParallelMiner` with ``workers``
         processes and :attr:`TASK_SPLIT_DEGREE` straggler splitting —
         parallel cells therefore report real counts but inflated merged
-        op counters; parity asserts compare counts only).
+        op counters; parity asserts compare counts only) or ``"pool"``
+        (a warmed :class:`~repro.engine.pool.MinerPool`: forked and
+        warmed before the timer, measuring steady-state request cost).
         """
-        key = (app, dataset, mode, workers if mode == "parallel" else 1)
+        multi_process = mode in ("parallel", "pool")
+        key = (app, dataset, mode, workers if multi_process else 1)
         if key not in self._engine_cache:
             from .enginebench import run_engine_cell
 
             split = (
-                None if (mode != "parallel" or app == "3-MC")
+                None if (not multi_process or app == "3-MC")
                 else self.TASK_SPLIT_DEGREE
             )
             log.debug(
@@ -417,6 +427,47 @@ class Harness:
         else:
             self.metrics.counter("bench.engine_cache_hits").inc()
         return self._engine_cache[key]
+
+    def engine_stream(
+        self,
+        app: str,
+        dataset: str,
+        *,
+        workers: int = 4,
+        requests: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Request-stream throughput for one cell (memoized).
+
+        Runs :func:`repro.bench.enginebench.run_stream_cell` — a stream
+        of identical mine requests through one resident
+        :class:`~repro.engine.pool.MinerPool` vs per-call
+        :class:`~repro.engine.parallel.ParallelMiner` spawning — and
+        publishes the steady-state ``engine.stream_cells_per_s`` gauge
+        (the warm-pool rate: what a mining service sustains once the
+        pool is resident).
+        """
+        key = (app, dataset, workers)
+        if key not in self._stream_cache:
+            from .enginebench import run_stream_cell
+
+            log.debug(
+                "engine stream %s/%s workers=%d", app, dataset, workers
+            )
+            self.metrics.counter("bench.engine_stream_runs").inc()
+            with self.profiler.phase(
+                "mine-stream", app=app, dataset=dataset, workers=workers
+            ):
+                entry = run_stream_cell(
+                    self.graph(dataset),
+                    self.plan(app),
+                    workers=workers,
+                    requests=requests,
+                )
+            self._stream_cache[key] = entry
+            self.metrics.gauge("engine.stream_cells_per_s").set(
+                entry["warm_cells_per_s"]
+            )
+        return self._stream_cache[key]
 
     def speedup(
         self,

@@ -5,6 +5,7 @@ Examples::
     flexminer compile 4-cycle                 # print the execution-plan IR
     flexminer mine triangle --dataset Mi      # software mining
     flexminer mine 4-clique --dataset As --workers 4   # multi-process
+    flexminer mine 4-clique --dataset As --workers 4 --pool --split-degree auto
     flexminer sim diamond --dataset As --pes 20 --cmap-kb 8
     flexminer sim triangle --dataset Mi --trace t.json --emit-json
     flexminer profile mine 4-clique --dataset As --workers 4
@@ -29,7 +30,7 @@ from typing import List, Optional
 from . import __version__
 from .bench import cpu_time_seconds, render_table1
 from .compiler import compile_motifs, compile_pattern, emit_ir, emit_multi_ir
-from .engine import ParallelMiner, PatternAwareEngine, mine_multi
+from .engine import MinerPool, ParallelMiner, PatternAwareEngine, mine_multi
 from .graph import CSRGraph, load_dataset, load_graph
 from .hw import FlexMinerConfig, simulate
 from .obs import (
@@ -50,6 +51,18 @@ from .obs.trend import (
 from .patterns import from_name
 
 __all__ = ["main", "build_parser"]
+
+
+def _split_degree_arg(value: str):
+    """``--split-degree`` accepts an integer or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,9 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
                 help="mining worker processes (shared-memory graph)",
             )
             p.add_argument(
-                "--split-degree", type=int, default=None,
+                "--pool", action="store_true",
+                help="serve the mine from a persistent MinerPool "
+                "(forked once, calibrated dispatch overhead recorded "
+                "in the report)",
+            )
+            p.add_argument(
+                "--split-degree", type=_split_degree_arg, default=None,
+                metavar="N|auto",
                 help="chunk roots above this degree into depth-1 slices "
-                "(wall-clock option; merged op counters are inflated)",
+                "(wall-clock option; merged op counters are inflated); "
+                "'auto' asks the cost model, requires --pool",
             )
 
     motifs_p = sub.add_parser("motifs", help="k-motif counting")
@@ -547,14 +568,37 @@ def _mine_or_sim(args, *, profile: bool = False) -> int:
 
     if args.command == "mine":
         run_meta["workers"] = args.workers
-        if profile or args.workers > 1 or args.split_degree is not None:
+        use_pool = getattr(args, "pool", False)
+        split_degree = args.split_degree
+        if split_degree == "auto" and not use_pool:
+            print(
+                "--split-degree auto needs the calibrated pool; "
+                "pass --pool",
+                file=sys.stderr,
+            )
+            return 2
+        if use_pool:
+            run_meta["pool"] = True
+            with prof.phase("setup", workers=args.workers):
+                pool = MinerPool(
+                    graph, workers=args.workers, tracer=tracer,
+                    profiler=prof,
+                )
+            try:
+                result = pool.mine(plan, split_degree=split_degree)
+                # The calibrated constant the cost model prices chunks
+                # against; 0.0 for the in-process workers=1 pool.
+                run_meta["dispatch_overhead_s"] = pool.dispatch_overhead_s
+            finally:
+                pool.close()
+        elif profile or args.workers > 1 or split_degree is not None:
             # Profiling always routes through the parallel miner so the
             # trace carries worker lanes at any worker count (workers=1
             # runs in-process with identical results).
             with prof.phase("setup", workers=args.workers):
                 miner = ParallelMiner(
                     graph, plan, workers=args.workers,
-                    split_degree=args.split_degree, tracer=tracer,
+                    split_degree=split_degree, tracer=tracer,
                     profiler=prof,
                 )
             result = miner.mine()

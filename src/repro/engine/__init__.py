@@ -11,6 +11,7 @@ from .kernels import (
 )
 from .oblivious import BudgetExceeded, ObliviousEngine, mine_oblivious
 from .parallel import ParallelMiner, mine_parallel, order_tasks
+from .pool import MinerPool, PoolWorkerError, cost_model_split_degree
 from .partitioned import (
     PartitionedMiner,
     PartitionStats,
@@ -38,6 +39,9 @@ __all__ = [
     "ParallelMiner",
     "mine_parallel",
     "order_tasks",
+    "MinerPool",
+    "PoolWorkerError",
+    "cost_model_split_degree",
     "check_consistency",
     "count_all_ways",
     "PartitionedMiner",

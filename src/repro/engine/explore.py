@@ -94,6 +94,14 @@ class PatternAwareEngine:
         leaf candidate lists are counted without being materialized.
         Bit-identical on counts and counters; disable only to measure
         the fast path itself (the engine bench's baseline mode).
+    batch_leaves:
+        When the leaf level is countable and its op chain reduces to a
+        single varying intersection (cliques do, on every oriented
+        plan), process the whole parent frontier with one vectorized
+        segmented kernel instead of one count per Python-loop
+        iteration.  Counts and counters stay bit-identical — the batch
+        path charges the exact per-candidate merge-model amounts in
+        closed form; disable to measure the batching itself.
     tracer:
         Optional :class:`repro.obs.Tracer`; ``run()`` wraps the mining
         phase in a wall-clock span.  Defaults to the no-op tracer.
@@ -115,6 +123,7 @@ class PatternAwareEngine:
         collect: bool = False,
         use_frontier_memo: bool = True,
         count_leaves: bool = True,
+        batch_leaves: bool = True,
         work_graph: Optional[CSRGraph] = None,
         tracer=None,
         metrics=None,
@@ -125,6 +134,7 @@ class PatternAwareEngine:
         self.collect = collect
         self.use_frontier_memo = use_frontier_memo
         self.count_leaves = count_leaves
+        self.batch_leaves = batch_leaves
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.profiler = profiler if profiler is not None else NULL_PROFILER
@@ -167,6 +177,7 @@ class PatternAwareEngine:
         # DFS hot-loop caches (single-pattern plans only).
         self._leaf_depth = None if self._multi else plan.num_levels - 1
         self._steps = None if self._multi else plan.steps
+        self._batch_leaf = self._batch_leaf_shape()
 
     # ------------------------------------------------------------------
     # Public API
@@ -268,6 +279,15 @@ class PatternAwareEngine:
                 self._embeddings.extend(
                     tuple(emb) + (int(v),) for v in cands
                 )
+            return
+        if (
+            depth + 1 == self._leaf_depth
+            and self._batch_leaf is not None
+            and self.batch_leaves
+            and len(cands)
+            and self._leaf_countable(self._steps[depth])
+        ):
+            self._counts[0] += self._count_leaf_batch(emb, cands)
             return
         for v in cands:
             emb.append(int(v))
@@ -400,6 +420,85 @@ class PatternAwareEngine:
         if forb is not None and count:
             count -= int(np.count_nonzero(kernels.members_mask(forb, cands)))
         return count
+
+    # ------------------------------------------------------------------
+    # Batch frontier leaf (one vectorized kernel per parent frontier)
+    # ------------------------------------------------------------------
+    def _batch_leaf_shape(self):
+        """Static analysis: can the leaf be counted a frontier at a time?
+
+        The batch kernel handles leaves whose op chain reduces to one
+        intersection with a *varying* operand — the adjacency (or memo
+        base) indexed by the parent-frontier vertex at embedding slot
+        ``leaf_depth - 1`` — everything else fixed for the whole
+        frontier.  Oriented clique plans have exactly this shape at
+        every leaf (TC: adj(v) ∩ adj(v0); k-CL: memo base ∩ adj(v)).
+        Injectivity must be a provable no-op (``covers_all_ancestors``)
+        because the batch never materializes candidates to exclude from.
+
+        Returns ``("memo", None)``, ``("direct", fixed_emb_index)`` or
+        ``None`` (fall back to the per-vertex leaf path).
+        """
+        if self._multi or self._leaf_depth is None or self._leaf_depth < 2:
+            return None
+        step = self._steps[self._leaf_depth - 1]
+        if not step.covers_all_ancestors or step.label is not None:
+            return None
+        d = self._leaf_depth - 1
+        if self.use_frontier_memo and step.base_step is not None:
+            if step.extra_disconnected or tuple(step.extra_connected) != (d,):
+                return None
+            return ("memo", None)
+        if step.disconnected:
+            return None
+        connected = tuple(step.connected)
+        if step.extender == d and len(connected) == 1 and connected[0] != d:
+            return ("direct", connected[0])
+        if step.extender != d and connected == (d,):
+            return ("direct", step.extender)
+        return None
+
+    def _count_leaf_batch(self, emb: Sequence[int], cands: np.ndarray) -> int:
+        """Count every leaf under the current frontier in one kernel call.
+
+        Semantically identical to looping ``_count_leaf`` over ``cands``;
+        the counter charges are the closed-form sum of what the serial
+        loop would have charged per candidate (the merge model bills
+        operand lengths, which the segment offsets provide in bulk), so
+        counts *and* counters are bit-identical to the per-vertex path.
+        """
+        step = self._steps[self._leaf_depth - 1]
+        kind, fixed_idx = self._batch_leaf
+        d = self._leaf_depth - 1
+        n = len(cands)
+        concat, offsets = self._work_graph.gather_neighbors(cands)
+        total = int(offsets[-1])
+        c = self.counters
+        if kind == "memo":
+            base = self._raw_stack[step.base_step]
+            c.frontier_hits += n
+            c.adjacency_loads += n
+            c.adjacency_bytes += 4 * total
+        else:
+            base = self._work_graph.neighbors(emb[fixed_idx])
+            if step.base_step is not None:
+                c.frontier_misses += n
+            c.adjacency_loads += 2 * n
+            c.adjacency_bytes += 4 * (total + n * len(base))
+        c.set_intersections += n
+        c.setop_iterations += n * len(base) + total
+        bounds = None
+        if step.upper_bounds:
+            fixed = [emb[b] for b in step.upper_bounds if b != d]
+            if d in step.upper_bounds:
+                bounds = np.minimum(cands, min(fixed)) if fixed else cands
+            else:
+                bounds = min(fixed)
+        raw, below = kernels.segmented_intersect_count(
+            base, concat, offsets, bounds
+        )
+        c.candidates_checked += int(raw.sum())
+        return int(below.sum())
 
     # ------------------------------------------------------------------
     # Candidate generation

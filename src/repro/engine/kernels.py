@@ -46,6 +46,7 @@ __all__ = [
     "intersect_multi",
     "intersect_values",
     "members_mask",
+    "segmented_intersect_count",
     "set_strategy",
     "strategy",
 ]
@@ -231,6 +232,47 @@ def difference_count_below(
         below = int(np.count_nonzero(keep[: int(a.searchsorted(bound))]))
     if exclude is not None and below:
         below -= _excluded_hits(a, keep, exclude)
+    return raw, below
+
+
+def segmented_intersect_count(
+    base: np.ndarray,
+    concat: np.ndarray,
+    offsets: np.ndarray,
+    bounds=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``(|seg ∩ base|, |{v ∈ seg ∩ base : v < bound}|)``.
+
+    The batch-frontier kernel: ``concat`` holds many sorted segments
+    back to back (segment ``i`` is ``concat[offsets[i]:offsets[i+1]]``,
+    typically a whole frontier's worth of adjacency slices gathered in
+    one shot) and every segment is intersected with the same sorted
+    ``base`` by a single membership probe.  Per-segment totals fall out
+    of one cumulative sum — no Python-level loop over the frontier.
+
+    ``bounds`` is ``None`` (no vid bound), a scalar (one bound for every
+    segment) or an array with one bound per segment.  Returns int64
+    arrays of length ``len(offsets) - 1``.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    nseg = len(offsets) - 1
+    if len(concat) == 0 or len(base) == 0:
+        zeros = np.zeros(nseg, dtype=np.int64)
+        return zeros, zeros.copy()
+    hit = _probe_mask(concat, base)
+    csum = np.concatenate(([0], np.cumsum(hit, dtype=np.int64)))
+    raw = csum[offsets[1:]] - csum[offsets[:-1]]
+    if bounds is None:
+        return raw, raw.copy()
+    if np.ndim(bounds) == 0:
+        below_mask = hit & (concat < bounds)
+    else:
+        per_element = np.repeat(
+            np.asarray(bounds), np.diff(offsets)
+        )
+        below_mask = hit & (concat < per_element)
+    bsum = np.concatenate(([0], np.cumsum(below_mask, dtype=np.int64)))
+    below = bsum[offsets[1:]] - bsum[offsets[:-1]]
     return raw, below
 
 

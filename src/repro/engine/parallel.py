@@ -29,9 +29,7 @@ stay exact — so it is opt-in for wall-clock runs only.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
-import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,11 +37,9 @@ import numpy as np
 from ..graph import (
     CSRGraph,
     LabeledGraph,
-    SharedCSRBuffers,
     attach_array,
     attach_shared_csr,
     orient_by_degree,
-    share_array,
 )
 from ..compiler.plan import MultiPlan
 from ..obs import NULL_PROFILER, NULL_REGISTRY, NULL_TRACER
@@ -51,7 +47,14 @@ from ..obs.prof import LaneRecorder, task_label
 from .counters import OpCounters
 from .explore import MiningResult, PatternAwareEngine
 
-__all__ = ["ParallelMiner", "mine_parallel", "order_tasks"]
+__all__ = [
+    "ParallelMiner",
+    "filter_roots",
+    "mine_parallel",
+    "order_tasks",
+    "publish_worker_metrics",
+    "run_tasks_in_process",
+]
 
 #: One unit of work: (root vertex, optional (index, pieces) chunk).
 Task = Tuple[int, Optional[Tuple[int, int]]]
@@ -85,6 +88,109 @@ def order_tasks(
         else:
             tasks.append((v, None))
     return tasks
+
+
+def filter_roots(
+    graph,
+    topology: CSRGraph,
+    plan,
+    roots: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Root list after the plan's root-label filter (parent side).
+
+    Shared between :class:`ParallelMiner` and the persistent
+    :class:`~repro.engine.pool.MinerPool` so both dispatch identical
+    task sets for identical requests.
+    """
+    if roots is None:
+        roots = range(topology.num_vertices)
+    multi = isinstance(plan, MultiPlan)
+    root_label = None if multi else plan.root_label
+    if root_label is None:
+        return [int(v) for v in roots]
+    labels = getattr(graph, "labels", None)
+    if labels is None:
+        raise ValueError(
+            "plan carries label constraints but the graph is "
+            "unlabeled; wrap it in a LabeledGraph"
+        )
+    return [int(v) for v in roots if int(labels[int(v)]) == root_label]
+
+
+def run_tasks_in_process(
+    graph,
+    plan,
+    tasks: Sequence[Task],
+    *,
+    work_graph=None,
+    options: Optional[Dict[str, object]] = None,
+    profile: bool = False,
+):
+    """Run a task list in-process; returns one ``(0, summary)`` pair.
+
+    The ``workers=1`` body of both the one-shot miner and the pool:
+    same degree-descending task order, no processes, exact parity with
+    a plain engine run.
+    """
+    rec = LaneRecorder()
+    with rec.span("attach-shm"):
+        engine = PatternAwareEngine(
+            graph, plan, work_graph=work_graph, **(options or {})
+        )
+    tasks_done = chunks_done = 0
+    for root, chunk in tasks:
+        with rec.span(task_label(root, chunk), cat="task"):
+            engine.run_task(root, chunk=chunk)
+        if chunk is None:
+            tasks_done += 1
+        else:
+            chunks_done += 1
+    return (
+        0,
+        _worker_summary(
+            engine, rec, tasks_done, chunks_done, profile=profile
+        ),
+    )
+
+
+def publish_worker_metrics(
+    metrics,
+    profiler,
+    summaries,
+    *,
+    workers: int,
+    num_tasks: int,
+    chunk_units: int,
+    counters: OpCounters,
+) -> None:
+    """Worker lanes, gauges and queue-wait distribution (merge side).
+
+    Emits the ``engine.parallel.*`` gauge family and, when profiling is
+    enabled, one wall-clock lane per worker — shared by the one-shot
+    miner and the pool so dashboards see one schema either way.
+    """
+    if profiler.enabled:
+        profiler.init_lanes(len(summaries))
+        for worker_id, summary in summaries:
+            profiler.add_lane(worker_id, summary.get("spans"))
+            for wait_s in _span_durations(summary.get("spans"), "queue-wait"):
+                metrics.histogram(
+                    "engine.parallel.queue_wait_us"
+                ).observe(wait_s * 1e6)
+    metrics.gauge("engine.parallel.workers").set(workers)
+    metrics.gauge("engine.parallel.queue_depth").set(num_tasks)
+    metrics.gauge("engine.parallel.chunk_units").set(chunk_units)
+    for worker_id, summary in summaries:
+        for key in (
+            "busy_seconds",
+            "queue_wait_seconds",
+            "tasks_done",
+            "chunks_done",
+        ):
+            metrics.gauge(
+                f"engine.parallel.worker_{key}", worker=worker_id
+            ).set(summary[key])
+    metrics.absorb(counters.as_dict(), prefix="engine.")
 
 
 def _build_worker_graph(
@@ -137,57 +243,6 @@ def _worker_summary(
     return summary
 
 
-def _mine_worker(
-    worker_id: int,
-    spec: Dict[str, object],
-    labels_spec: Optional[Dict[str, object]],
-    work_spec: Optional[Dict[str, object]],
-    plan,
-    options: Dict[str, object],
-    profile: bool,
-    task_queue,
-    result_queue,
-) -> None:
-    """Worker main: attach shared buffers, drain the queue, report once."""
-    try:
-        rec = LaneRecorder()
-        with rec.span("attach-shm"):
-            graph = _build_worker_graph(spec, labels_spec)
-            work_graph = (
-                attach_shared_csr(work_spec)
-                if work_spec is not None
-                else None
-            )
-            engine = PatternAwareEngine(
-                graph, plan, work_graph=work_graph, **options
-            )
-        tasks_done = 0
-        chunks_done = 0
-        while True:
-            with rec.span("queue-wait", cat="queue-wait"):
-                task = task_queue.get()
-            if task is None:
-                break
-            root, chunk = task
-            with rec.span(task_label(root, chunk), cat="task"):
-                engine.run_task(root, chunk=chunk)
-            if chunk is None:
-                tasks_done += 1
-            else:
-                chunks_done += 1
-        result_queue.put(
-            (
-                "done",
-                worker_id,
-                _worker_summary(
-                    engine, rec, tasks_done, chunks_done, profile=profile
-                ),
-            )
-        )
-    except BaseException:  # pragma: no cover - exercised via error test
-        result_queue.put(("error", worker_id, traceback.format_exc()))
-
-
 class ParallelMiner:
     """Mine a plan with N worker processes over a shared-memory graph.
 
@@ -207,7 +262,7 @@ class ParallelMiner:
         configuration whose merged counters are bit-identical to a
         serial run.  Chunking never changes *counts*.  Single-pattern
         plans only.
-    use_frontier_memo / count_leaves:
+    use_frontier_memo / count_leaves / batch_leaves:
         Forwarded to every worker's engine.
     tracer / metrics:
         Parent-side observability; workers run untraced and their
@@ -229,6 +284,7 @@ class ParallelMiner:
         split_degree: Optional[int] = None,
         use_frontier_memo: bool = True,
         count_leaves: bool = True,
+        batch_leaves: bool = True,
         tracer=None,
         metrics=None,
         profiler=None,
@@ -249,6 +305,7 @@ class ParallelMiner:
         self._options = {
             "use_frontier_memo": use_frontier_memo,
             "count_leaves": count_leaves,
+            "batch_leaves": batch_leaves,
         }
         self._multi = isinstance(plan, MultiPlan)
         oriented = (not self._multi) and plan.oriented
@@ -260,18 +317,7 @@ class ParallelMiner:
     # ------------------------------------------------------------------
     def _roots(self, roots: Optional[Sequence[int]]) -> List[int]:
         """Root list after the plan's root-label filter (parent side)."""
-        if roots is None:
-            roots = range(self._topology.num_vertices)
-        root_label = None if self._multi else self.plan.root_label
-        if root_label is None:
-            return [int(v) for v in roots]
-        labels = getattr(self.graph, "labels", None)
-        if labels is None:
-            raise ValueError(
-                "plan carries label constraints but the graph is "
-                "unlabeled; wrap it in a LabeledGraph"
-            )
-        return [int(v) for v in roots if int(labels[int(v)]) == root_label]
+        return filter_roots(self.graph, self._topology, self.plan, roots)
 
     def mine(self, roots: Optional[Sequence[int]] = None) -> MiningResult:
         """Run the parallel mining job and merge worker results."""
@@ -308,140 +354,54 @@ class ParallelMiner:
 
     def _publish(self, summaries, tasks, chunk_units, counters) -> None:
         """Worker lanes, gauges and queue-wait distribution (merge side)."""
-        if self.profiler.enabled:
-            self.profiler.init_lanes(len(summaries))
-            for worker_id, summary in summaries:
-                self.profiler.add_lane(worker_id, summary.get("spans"))
-                for wait_s in _span_durations(
-                    summary.get("spans"), "queue-wait"
-                ):
-                    self.metrics.histogram(
-                        "engine.parallel.queue_wait_us"
-                    ).observe(wait_s * 1e6)
-        self.metrics.gauge("engine.parallel.workers").set(self.workers)
-        self.metrics.gauge("engine.parallel.queue_depth").set(len(tasks))
-        self.metrics.gauge("engine.parallel.chunk_units").set(chunk_units)
-        for worker_id, summary in summaries:
-            for key in (
-                "busy_seconds",
-                "queue_wait_seconds",
-                "tasks_done",
-                "chunks_done",
-            ):
-                self.metrics.gauge(
-                    f"engine.parallel.worker_{key}", worker=worker_id
-                ).set(summary[key])
-        self.metrics.absorb(counters.as_dict(), prefix="engine.")
+        publish_worker_metrics(
+            self.metrics,
+            self.profiler,
+            summaries,
+            workers=self.workers,
+            num_tasks=len(tasks),
+            chunk_units=chunk_units,
+            counters=counters,
+        )
 
     # ------------------------------------------------------------------
     def _mine_serial(self, tasks: Sequence[Task]):
         """workers=1: same task order, no processes, exact parity."""
-        rec = LaneRecorder()
-        with rec.span("attach-shm"):
-            engine = PatternAwareEngine(
-                self.graph, self.plan, work_graph=self._work_graph,
-                **self._options,
-            )
-        tasks_done = chunks_done = 0
-        for root, chunk in tasks:
-            with rec.span(task_label(root, chunk), cat="task"):
-                engine.run_task(root, chunk=chunk)
-            if chunk is None:
-                tasks_done += 1
-            else:
-                chunks_done += 1
-        return (
-            0,
-            _worker_summary(
-                engine, rec, tasks_done, chunks_done,
-                profile=self.profiler.enabled,
-            ),
+        return run_tasks_in_process(
+            self.graph,
+            self.plan,
+            tasks,
+            work_graph=self._work_graph,
+            options=self._options,
+            profile=self.profiler.enabled,
         )
 
     def _mine_processes(self, tasks: Sequence[Task]):
+        """One-shot multi-process mine through a transient worker pool.
+
+        All process construction lives in :mod:`repro.engine.pool`
+        (fmlint FM207); the one-shot path is simply a pool whose stream
+        has length one.
+        """
+        from .pool import MinerPool
+
+        pool = MinerPool(
+            self.graph,
+            workers=self.workers,
+            oriented_graph=(
+                self._work_graph
+                if self._work_graph is not self._topology
+                else None
+            ),
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+            **self._options,
+        )
         try:
-            ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = mp.get_context("spawn")
-
-        labels = getattr(self.graph, "labels", None)
-        shared: List = []
-        summaries = []
-        procs = []
-        try:
-            topo_buffers = SharedCSRBuffers(self._topology)
-            shared.append(topo_buffers)
-            labels_spec = None
-            if labels is not None:
-                shm, labels_spec = share_array(np.asarray(labels))
-                shared.append(_OwnedBlock(shm))
-            work_spec = None
-            if self._work_graph is not self._topology:
-                work_buffers = SharedCSRBuffers(self._work_graph)
-                shared.append(work_buffers)
-                work_spec = work_buffers.spec
-
-            task_queue = ctx.Queue()
-            result_queue = ctx.Queue()
-            with self.profiler.lane_span("spawn-workers"):
-                for worker_id in range(self.workers):
-                    proc = ctx.Process(
-                        target=_mine_worker,
-                        args=(
-                            worker_id,
-                            topo_buffers.spec,
-                            labels_spec,
-                            work_spec,
-                            self.plan,
-                            self._options,
-                            self.profiler.enabled,
-                            task_queue,
-                            result_queue,
-                        ),
-                        daemon=True,
-                    )
-                    proc.start()
-                    procs.append(proc)
-            with self.profiler.lane_span("enqueue-tasks"):
-                for task in tasks:
-                    task_queue.put(task)
-                for _ in procs:
-                    task_queue.put(None)
-
-            with self.profiler.lane_span("drain-results"):
-                while len(summaries) < len(procs):
-                    try:
-                        kind, worker_id, payload = result_queue.get(
-                            timeout=1.0
-                        )
-                    except Exception:
-                        dead = [
-                            p for p in procs
-                            if p.exitcode not in (0, None)
-                        ]
-                        if dead:  # pragma: no cover - hard crash path
-                            raise RuntimeError(
-                                f"{len(dead)} mining worker(s) died with "
-                                f"exit codes "
-                                f"{[p.exitcode for p in dead]}"
-                            )
-                        continue
-                    if kind == "error":
-                        raise RuntimeError(
-                            f"mining worker {worker_id} failed:\n{payload}"
-                        )
-                    summaries.append((worker_id, payload))
-                for proc in procs:
-                    proc.join()
+            return pool.run_tasks(self.plan, tasks)
         finally:
-            for proc in procs:
-                if proc.is_alive():  # pragma: no cover - error cleanup
-                    proc.terminate()
-                    proc.join()
-            for owner in shared:
-                owner.close()
-                owner.unlink()
-        return summaries
+            pool.close()
 
 
 class _OwnedBlock:

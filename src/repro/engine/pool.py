@@ -1,0 +1,634 @@
+"""Persistent worker pool: fork once, mine an arbitrary request stream.
+
+:class:`~repro.engine.parallel.ParallelMiner` pays the full process
+spin-up bill — fork, shared-memory CSR export, queue construction — on
+*every* ``mine()`` call, which on the scaled benchmark inputs swamps
+the mining work itself (BENCH_engine.json records parallel-4 *slower*
+than the serial legacy engine on TC).  :class:`MinerPool` amortizes all
+of that over a stream of requests:
+
+* **fork once** — N worker processes attach the
+  :class:`~repro.graph.SharedCSRBuffers` CSR (plus labels and, lazily,
+  the degree-oriented DAG) a single time and stay resident;
+* **lightweight request protocol** — per request only the compiled plan
+  and (root, chunk) task ids cross the queues, plus one result summary
+  per worker on the way back; cooperative shutdown via per-worker
+  control messages;
+* **measured dispatch overhead** — the pool calibrates a per-task
+  round-trip cost with ping messages (timed through
+  :class:`repro.obs.prof.LaneRecorder` — engine code never reads the
+  clock directly, fmlint FM206) and exposes it as
+  :attr:`MinerPool.dispatch_overhead_s`;
+* **cost-model chunking** — ``mine(..., split_degree="auto")`` asks
+  :func:`cost_model_split_degree` to split hub roots into depth-1
+  slices only when the :mod:`repro.compiler.estimate` work estimate
+  says a chunk carries several multiples of the measured dispatch
+  overhead; light workloads run unsplit (and therefore keep the merged
+  :class:`~repro.engine.counters.OpCounters` bit-identical to a serial
+  run, same contract as :class:`ParallelMiner`).
+
+``workers=1`` never forks: requests run in-process through the same
+task order, which is the exact-parity debugging configuration.  The
+pool is also the *only* place in ``repro.engine`` allowed to construct
+worker processes (fmlint FM207 polices this); ``ParallelMiner`` now
+routes its one-shot multi-process mining through a transient pool.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import queue as queue_module
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.estimate import GraphProfile, estimate_plan
+from ..compiler.plan import MultiPlan
+from ..graph import (
+    LabeledGraph,
+    SharedCSRBuffers,
+    attach_shared_csr,
+    orient_by_degree,
+    share_array,
+)
+from ..obs import NULL_PROFILER, NULL_REGISTRY, NULL_TRACER
+from ..obs.prof import LaneRecorder, task_label
+from .counters import OpCounters
+from .explore import MiningResult, PatternAwareEngine
+from .parallel import (
+    Task,
+    _build_worker_graph,
+    _OwnedBlock,
+    _worker_summary,
+    filter_roots,
+    order_tasks,
+    publish_worker_metrics,
+    run_tasks_in_process,
+)
+
+__all__ = [
+    "CALIBRATION_PINGS",
+    "MIN_SPLIT_DEGREE",
+    "MinerPool",
+    "PoolWorkerError",
+    "SPLIT_WORK_FACTOR",
+    "WORK_RATE_UNITS_PER_S",
+    "cost_model_split_degree",
+]
+
+#: Ping round trips used to measure the per-task dispatch overhead (one
+#: warm-up ping is sent first and discarded — it absorbs worker startup).
+CALIBRATION_PINGS = 8
+
+#: How many multiples of the measured dispatch overhead one chunk's
+#: *estimated* mining work must carry before auto-splitting engages.
+#: Below this, queue traffic costs more than the parallelism recovers.
+SPLIT_WORK_FACTOR = 4.0
+
+#: Finest auto-split chunk: splitting below a few dozen depth-1
+#: candidates re-runs candidate generation more often than it balances.
+MIN_SPLIT_DEGREE = 8
+
+#: Calibrated ballpark of merge-model work units (candidates scanned,
+#: i.e. adjacency entries touched) the engine retires per second.  The
+#: cost model only needs the order of magnitude: it converts the
+#: measured dispatch overhead (seconds) into "units a chunk must carry
+#: to be worth dispatching", and a 2-3x miss just shifts the split
+#: threshold by the same factor.
+WORK_RATE_UNITS_PER_S = 2.5e7
+
+
+class PoolWorkerError(RuntimeError):
+    """A pool worker raised or died; the pool is broken — close() it.
+
+    ``reason`` is ``"failed"`` (the worker sent a traceback before
+    exiting) or ``"died"`` (hard crash detected via exit code); the
+    traceback / exit codes are in ``detail``.
+    """
+
+    def __init__(self, worker_id, reason: str, detail: str = "") -> None:
+        self.worker_id = worker_id
+        self.reason = reason
+        self.detail = detail
+        message = f"mining pool worker {worker_id} {reason}"
+        if detail:
+            message += f":\n{detail}"
+        super().__init__(message)
+
+
+def cost_model_split_degree(
+    graph,
+    plan,
+    *,
+    dispatch_overhead_s: float,
+    profile: Optional[GraphProfile] = None,
+    work_rate: float = WORK_RATE_UNITS_PER_S,
+) -> Optional[int]:
+    """Pick a straggler-split degree from estimated work vs dispatch cost.
+
+    The :mod:`repro.compiler.estimate` model prices the whole search
+    tree in scanned candidates; dividing by the total degree gives the
+    average work hanging off one depth-1 candidate, so a chunk of ``s``
+    candidates is worth roughly ``s * units_per_edge / work_rate``
+    seconds.  The split degree is the smallest ``s`` whose chunk still
+    carries :data:`SPLIT_WORK_FACTOR` times the measured dispatch
+    overhead (never below :data:`MIN_SPLIT_DEGREE`).  Returns ``None``
+    — no splitting — when no root is heavy enough to yield at least two
+    chunks, which also keeps merged op counters bit-identical.
+    """
+    if isinstance(plan, MultiPlan):
+        return None
+    levels = estimate_plan(plan, graph, profile=profile)
+    total_units = float(sum(level.candidates_scanned for level in levels))
+    degrees = graph.degrees()
+    if len(degrees) == 0 or total_units <= 0.0:
+        return None
+    max_degree = int(degrees.max())
+    total_degree = float(degrees.sum())
+    if total_degree <= 0.0:
+        return None
+    units_per_edge = total_units / total_degree
+    min_chunk_units = (
+        SPLIT_WORK_FACTOR * max(dispatch_overhead_s, 0.0) * work_rate
+    )
+    split = max(
+        int(math.ceil(min_chunk_units / units_per_edge)), MIN_SPLIT_DEGREE
+    )
+    if max_degree < 2 * split:
+        return None
+    return split
+
+
+def _pool_worker(
+    worker_id: int,
+    topo_spec: Dict[str, object],
+    labels_spec: Optional[Dict[str, object]],
+    ctrl_queue,
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker main loop: attach once, then serve mine/ping requests.
+
+    The topology (and labels) attach exactly once, before the first
+    request; oriented work graphs attach on first use and are cached by
+    shared-memory name, so a stream of same-shaped requests touches no
+    graph-sized data after the first.  One ``None`` task sentinel per
+    worker ends each request's drain; a ``("stop",)`` control message
+    ends the worker.  Any exception is reported as a structured
+    ``("error", ...)`` result and kills the worker — the parent turns it
+    into :class:`PoolWorkerError`.
+    """
+    req_id = None
+    try:
+        graph = _build_worker_graph(topo_spec, labels_spec)
+        work_graphs: Dict[str, object] = {}
+        while True:
+            message = ctrl_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "ping":
+                result_queue.put(("pong", message[1], worker_id, None))
+                continue
+            _, req_id, plan, work_spec, options, profile = message
+            rec = LaneRecorder()
+            with rec.span("attach-shm"):
+                work_graph = None
+                if work_spec is not None:
+                    key = str(work_spec["indptr"]["shm"])
+                    if key not in work_graphs:
+                        work_graphs[key] = attach_shared_csr(work_spec)
+                    work_graph = work_graphs[key]
+                engine = PatternAwareEngine(
+                    graph, plan, work_graph=work_graph, **options
+                )
+            tasks_done = 0
+            chunks_done = 0
+            while True:
+                with rec.span("queue-wait", cat="queue-wait"):
+                    task = task_queue.get()
+                if task is None:
+                    break
+                root, chunk = task
+                with rec.span(task_label(root, chunk), cat="task"):
+                    engine.run_task(root, chunk=chunk)
+                if chunk is None:
+                    tasks_done += 1
+                else:
+                    chunks_done += 1
+            result_queue.put(
+                (
+                    "done",
+                    req_id,
+                    worker_id,
+                    _worker_summary(
+                        engine, rec, tasks_done, chunks_done, profile=profile
+                    ),
+                )
+            )
+            req_id = None
+    except BaseException:  # pragma: no cover - exercised via error tests
+        result_queue.put(("error", req_id, worker_id, traceback.format_exc()))
+
+
+class MinerPool:
+    """Resident worker processes serving a stream of mining requests.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (:class:`CSRGraph` or :class:`LabeledGraph`),
+        shared with workers through POSIX shared memory exactly once.
+    workers:
+        Worker process count (default ``os.cpu_count()``).  ``1`` runs
+        every request in-process — no fork, exact serial parity.
+    use_frontier_memo / count_leaves / batch_leaves:
+        Forwarded to every worker engine, for every request.
+    oriented_graph:
+        Optional pre-computed degree-oriented DAG; computed lazily on
+        the first oriented request otherwise.
+    tracer / metrics / profiler:
+        Parent-side observability (same semantics as
+        :class:`~repro.engine.parallel.ParallelMiner`); the pool adds
+        ``engine.pool.*`` gauges on top of the ``engine.parallel.*``
+        family.
+
+    Requests are served strictly one at a time; the pool is not
+    thread-safe.  Use as a context manager or call :meth:`close` —
+    closing is idempotent and unlinks every shared segment.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        workers: Optional[int] = None,
+        use_frontier_memo: bool = True,
+        count_leaves: bool = True,
+        batch_leaves: bool = True,
+        oriented_graph=None,
+        tracer=None,
+        metrics=None,
+        profiler=None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.graph = graph
+        self.workers = int(workers)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._options = {
+            "use_frontier_memo": use_frontier_memo,
+            "count_leaves": count_leaves,
+            "batch_leaves": batch_leaves,
+        }
+        self._topology = (
+            graph.graph if isinstance(graph, LabeledGraph) else graph
+        )
+        self._oriented = oriented_graph
+        self._shared: List = []
+        self._procs: List = []
+        self._ctrl: List = []
+        self._task_queue = None
+        self._result_queue = None
+        self._topo_spec: Optional[Dict[str, object]] = None
+        self._labels_spec: Optional[Dict[str, object]] = None
+        self._work_spec: Optional[Dict[str, object]] = None
+        self._closed = False
+        self._broken = False
+        self._dispatch_overhead: Optional[float] = None
+        self._requests = 0
+        self._next_req = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests
+
+    def __enter__(self) -> "MinerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop workers cooperatively and unlink every shared segment.
+
+        Idempotent: the second and later calls are no-ops.  Workers
+        still draining a request get a grace join, then a terminate.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        procs, self._procs = self._procs, []
+        if procs:
+            for ctrl in self._ctrl:
+                try:
+                    ctrl.put_nowait(("stop",))
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join()
+            for q in (self._task_queue, self._result_queue, *self._ctrl):
+                if q is not None:
+                    q.cancel_join_thread()
+                    q.close()
+            self._ctrl = []
+            self._task_queue = self._result_queue = None
+        shared, self._shared = self._shared, []
+        for owner in shared:
+            owner.close()
+            owner.unlink()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("MinerPool is closed")
+        if self._broken:
+            raise RuntimeError(
+                "MinerPool is broken by a worker failure; close() it and "
+                "create a new pool"
+            )
+
+    def _start(self) -> None:
+        """Fork the workers and export the shared graph (first use only)."""
+        if self._procs:
+            return
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+        topo_buffers = SharedCSRBuffers(self._topology)
+        self._shared.append(topo_buffers)
+        self._topo_spec = topo_buffers.spec
+        labels = getattr(self.graph, "labels", None)
+        if labels is not None:
+            shm, self._labels_spec = share_array(np.asarray(labels))
+            self._shared.append(_OwnedBlock(shm))
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._ctrl = [ctx.Queue() for _ in range(self.workers)]
+        with self.profiler.lane_span("spawn-workers"):
+            for worker_id in range(self.workers):
+                proc = ctx.Process(
+                    target=_pool_worker,
+                    args=(
+                        worker_id,
+                        self._topo_spec,
+                        self._labels_spec,
+                        self._ctrl[worker_id],
+                        self._task_queue,
+                        self._result_queue,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+
+    def _oriented_graph(self):
+        if self._oriented is None:
+            self._oriented = orient_by_degree(self._topology)
+        return self._oriented
+
+    def _work_spec_for(self, oriented: bool) -> Optional[Dict[str, object]]:
+        """Shared-memory spec of the oriented DAG (exported lazily)."""
+        if not oriented:
+            return None
+        if self._work_spec is None:
+            work_buffers = SharedCSRBuffers(self._oriented_graph())
+            self._shared.append(work_buffers)
+            self._work_spec = work_buffers.spec
+        return self._work_spec
+
+    # ------------------------------------------------------------------
+    # Dispatch overhead calibration + cost-model chunking
+    # ------------------------------------------------------------------
+    @property
+    def dispatch_overhead_s(self) -> float:
+        """Measured per-task queue round-trip cost, seconds (cached).
+
+        ``0.0`` for the in-process ``workers=1`` configuration.  The
+        first read forks the pool (if it has not already) and times
+        :data:`CALIBRATION_PINGS` control-queue round trips through a
+        :class:`LaneRecorder` — the engine's sanctioned clock.
+        """
+        if self._dispatch_overhead is None:
+            self._dispatch_overhead = self._calibrate()
+        return self._dispatch_overhead
+
+    def _calibrate(self, pings: int = CALIBRATION_PINGS) -> float:
+        if self.workers == 1:
+            return 0.0
+        self._check_open()
+        self._start()
+        rec = LaneRecorder()
+        # Warm-up round trip absorbs worker startup + graph attach.
+        self._ping(rec, -1, cat="calibrate-warmup")
+        for i in range(pings):
+            self._ping(rec, i, cat="dispatch-ping")
+        overhead = rec.total("dispatch-ping") / pings
+        self.metrics.gauge("engine.pool.dispatch_overhead_us").set(
+            overhead * 1e6
+        )
+        return overhead
+
+    def _ping(self, rec: LaneRecorder, i: int, *, cat: str) -> None:
+        worker_id = i % self.workers
+        req_id = ("ping", i)
+        with rec.span(f"ping w{worker_id}", cat=cat):
+            self._ctrl[worker_id].put(("ping", req_id))
+            self._drain(req_id, 1)
+
+    def auto_split_degree(
+        self, plan, *, profile: Optional[GraphProfile] = None
+    ) -> Optional[int]:
+        """Cost-model split degree for a plan on this pool's graph."""
+        if self.workers <= 1 or isinstance(plan, MultiPlan):
+            return None
+        work_graph = (
+            self._oriented_graph() if plan.oriented else self._topology
+        )
+        return cost_model_split_degree(
+            work_graph,
+            plan,
+            dispatch_overhead_s=self.dispatch_overhead_s,
+            profile=profile,
+        )
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+    def mine(
+        self,
+        plan,
+        *,
+        roots: Optional[Sequence[int]] = None,
+        split_degree=None,
+    ) -> MiningResult:
+        """Serve one mining request against the resident workers.
+
+        ``split_degree`` is ``None`` (whole-root tasks: merged counters
+        bit-identical to serial), an integer (as
+        :class:`ParallelMiner`), or ``"auto"`` — let
+        :meth:`auto_split_degree` decide from the cost model and the
+        measured dispatch overhead.
+        """
+        self._check_open()
+        multi = isinstance(plan, MultiPlan)
+        if split_degree == "auto":
+            split_degree = self.auto_split_degree(plan)
+        if split_degree is not None and multi:
+            raise ValueError("task chunking requires a single-pattern plan")
+        oriented = (not multi) and plan.oriented
+        work_graph = self._oriented_graph() if oriented else self._topology
+        with self.profiler.phase("setup", workers=self.workers):
+            tasks = order_tasks(
+                work_graph,
+                filter_roots(self.graph, self._topology, plan, roots),
+                split_degree=split_degree,
+            )
+        chunk_units = sum(1 for _, chunk in tasks if chunk is not None)
+        with self.tracer.span(
+            "mine-parallel", cat="phase", workers=self.workers,
+            tasks=len(tasks),
+        ):
+            with self.profiler.phase("mine", tasks=len(tasks)):
+                summaries = self.run_tasks(plan, tasks)
+        with self.profiler.phase("merge"):
+            summaries.sort(key=lambda item: item[0])
+            counts = [0] * (plan.num_patterns if multi else 1)
+            counters = OpCounters()
+            with self.profiler.lane_span("counter-merge"):
+                for _, summary in summaries:
+                    for i, count in enumerate(summary["counts"]):
+                        counts[i] += count
+                    counters += summary["counters"]
+            counters.matches = sum(counts)
+            self._requests += 1
+            publish_worker_metrics(
+                self.metrics,
+                self.profiler,
+                summaries,
+                workers=self.workers,
+                num_tasks=len(tasks),
+                chunk_units=chunk_units,
+                counters=counters,
+            )
+            self._publish_pool_gauges()
+        return MiningResult(counts=tuple(counts), counters=counters)
+
+    def run_tasks(self, plan, tasks: Sequence[Task]) -> List[Tuple]:
+        """Low-level entry: run explicit tasks, return worker summaries.
+
+        Used by :meth:`mine` and by :class:`ParallelMiner`'s one-shot
+        delegation; callers merge the ``(worker_id, summary)`` pairs
+        themselves.
+        """
+        self._check_open()
+        multi = isinstance(plan, MultiPlan)
+        # getattr: a malformed plan must fail *in the worker* so the
+        # caller sees the structured PoolWorkerError, not a parent-side
+        # AttributeError.
+        oriented = (not multi) and bool(getattr(plan, "oriented", False))
+        if self.workers == 1:
+            work_graph = self._oriented_graph() if oriented else None
+            return [
+                run_tasks_in_process(
+                    self.graph,
+                    plan,
+                    tasks,
+                    work_graph=work_graph,
+                    options=self._options,
+                    profile=self.profiler.enabled,
+                )
+            ]
+        self._start()
+        work_spec = self._work_spec_for(oriented)
+        req_id = self._next_req
+        self._next_req += 1
+        for ctrl in self._ctrl:
+            ctrl.put(
+                (
+                    "mine",
+                    req_id,
+                    plan,
+                    work_spec,
+                    self._options,
+                    self.profiler.enabled,
+                )
+            )
+        with self.profiler.lane_span("enqueue-tasks"):
+            for task in tasks:
+                self._task_queue.put(task)
+            for _ in self._procs:
+                self._task_queue.put(None)
+        with self.profiler.lane_span("drain-results"):
+            return self._drain(req_id, len(self._procs))
+
+    def _drain(self, req_id, expected: int) -> List[Tuple]:
+        """Collect ``expected`` results for a request, watching for death."""
+        out: List[Tuple] = []
+        while len(out) < expected:
+            try:
+                message = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [
+                    (i, proc)
+                    for i, proc in enumerate(self._procs)
+                    if proc.exitcode not in (0, None)
+                ]
+                if dead:
+                    self._broken = True
+                    ids = [i for i, _ in dead]
+                    codes = [proc.exitcode for _, proc in dead]
+                    raise PoolWorkerError(
+                        ids[0] if len(ids) == 1 else ids,
+                        "died",
+                        f"exit codes {codes}",
+                    )
+                continue
+            kind, rid, worker_id, payload = message
+            if kind == "error":
+                self._broken = True
+                raise PoolWorkerError(worker_id, "failed", str(payload))
+            if rid != req_id:
+                # Stale residue from an interrupted earlier request.
+                continue
+            out.append((worker_id, payload))
+        return out
+
+    def _publish_pool_gauges(self) -> None:
+        self.metrics.gauge("engine.pool.workers").set(self.workers)
+        self.metrics.gauge("engine.pool.resident_workers").set(
+            len(self._procs)
+        )
+        self.metrics.gauge("engine.pool.requests").set(self._requests)
+        if self._dispatch_overhead is not None:
+            self.metrics.gauge("engine.pool.dispatch_overhead_us").set(
+                self._dispatch_overhead * 1e6
+            )

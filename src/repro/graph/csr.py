@@ -219,6 +219,35 @@ class CSRGraph:
         """Sorted neighbor list of ``v`` as a read-only array view."""
         return self._indices[self._indptr[v] : self._indptr[v + 1]]
 
+    def gather_neighbors(
+        self, vertices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbor lists of many vertices plus offsets.
+
+        Returns ``(concat, offsets)`` where the neighbor list of
+        ``vertices[i]`` is ``concat[offsets[i]:offsets[i+1]]``.  The
+        gather is fully vectorized (one fancy-index over ``indices``),
+        which is what the engine's batch-frontier leaf kernel feeds to
+        :func:`repro.engine.kernels.segmented_intersect_count` — a whole
+        frontier of adjacency slices in one call instead of one
+        ``neighbors()`` view per Python-loop iteration.
+        """
+        verts = np.asarray(vertices, dtype=np.int64)
+        starts = self._indptr[verts]
+        lengths = self._indptr[verts + 1] - starts
+        offsets = np.zeros(len(verts) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return self._indices[:0], offsets
+        # positions[k] walks each segment: segment start + local offset.
+        positions = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets[:-1], lengths)
+            + np.repeat(starts, lengths)
+        )
+        return self._indices[positions], offsets
+
     def has_edge(self, u: int, v: int) -> bool:
         """Connectivity test via binary search on u's sorted neighbor list."""
         lst = self.neighbors(u)

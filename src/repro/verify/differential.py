@@ -1,13 +1,15 @@
 """Differential runner: one case, every backend, structured mismatches.
 
-The repository produces a pattern count five independent ways — serial
+The repository produces a pattern count six independent ways — serial
 :class:`~repro.engine.explore.PatternAwareEngine` (count-only leaves on
 or off, probe kernels forced on), the frozen pre-kernel
 :class:`~repro.bench.enginebench.LegacyEngine`, the multi-process
-:class:`~repro.engine.parallel.ParallelMiner`, and the cycle-level
-FlexMiner simulator — the latter in three timing flavors: legacy
-per-element loops, vectorized kernels, and the trace/replay parallel
-runner at several worker counts.  The differential runner executes a
+:class:`~repro.engine.parallel.ParallelMiner`, the persistent
+:class:`~repro.engine.pool.MinerPool` (each plan mined twice through
+one resident pool, so resident-worker state is exercised), and the
+cycle-level FlexMiner simulator — the latter in three timing flavors:
+legacy per-element loops, vectorized kernels, and the trace/replay
+parallel runner at several worker counts.  The differential runner executes a
 (graph, pattern) case through all of them, compares every per-pattern
 count against the compiler-independent :mod:`~repro.verify.oracle`, and
 checks two drift invariants: the **zero-drift op-counter invariant**
@@ -232,6 +234,34 @@ def _parallel(workers: int) -> Backend:
     return run
 
 
+def _pool(workers: int) -> Backend:
+    """The persistent pool, exercised as a request *stream*.
+
+    Mines the same plan twice through one resident pool and insists the
+    repeat answer is bit-identical to the first (a stale per-request
+    reset inside a resident worker would show up only on the second
+    request) before the usual oracle/zero-drift comparisons.
+    """
+
+    def run(case: VerifyCase, plan):
+        from ..engine import MinerPool
+
+        with MinerPool(case.graph, workers=workers) as pool:
+            first = pool.mine(plan)
+            second = pool.mine(plan)
+        if (
+            first.counts != second.counts
+            or first.counters.as_dict() != second.counters.as_dict()
+        ):
+            raise AssertionError(
+                "pool request stream drifted between identical requests: "
+                f"{first.counts} then {second.counts}"
+            )
+        return second.counts, second.counters
+
+    return run
+
+
 class _SimReportCounters:
     """Adapter exposing a full :class:`~repro.hw.report.SimReport` dict
     through the backend counter protocol, so the sim-family drift check
@@ -287,6 +317,8 @@ BACKENDS: Dict[str, Backend] = {
     "parallel-1": _parallel(1),
     "parallel-2": _parallel(2),
     "parallel-4": _parallel(4),
+    "pool-2": _pool(2),
+    "pool-4": _pool(4),
     "sim": _sim,
     "sim-fast": _sim_fast,
     "sim-parallel-1": _sim_parallel(1),
@@ -307,6 +339,8 @@ ZERO_DRIFT_BACKENDS: Tuple[str, ...] = (
     "parallel-1",
     "parallel-2",
     "parallel-4",
+    "pool-2",
+    "pool-4",
 )
 
 #: Simulator backends whose *entire SimReport* must be bit-identical to

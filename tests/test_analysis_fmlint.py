@@ -199,6 +199,51 @@ class TestDirectTiming:
         assert codes(src, path=ENGINE) == []
 
 
+class TestProcessConstruction:
+    POOL = "src/repro/engine/pool.py"
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "mp.Process(target=f)",
+            "ctx.Process(target=f, daemon=True)",
+            "multiprocessing.Pool(4)",
+            "ctx.Pool(workers)",
+        ],
+    )
+    def test_dotted_construction_in_engine_flagged(self, call):
+        assert codes(f"p = {call}\n", path=ENGINE) == ["FM207"]
+
+    def test_from_import_flagged(self):
+        src = "from multiprocessing import Process\n\np = Process(target=f)\n"
+        assert codes(src, path=ENGINE) == ["FM207"]
+
+    def test_from_import_asname_flagged(self):
+        src = (
+            "from multiprocessing.context import Process as Worker\n\n"
+            "p = Worker(target=f)\n"
+        )
+        assert codes(src, path=ENGINE) == ["FM207"]
+
+    def test_bare_name_without_mp_import_passes(self):
+        # A local class named Pool is not multiprocessing's.
+        assert codes("p = Pool(4)\n", path=ENGINE) == []
+
+    def test_engine_pool_module_exempt(self):
+        src = "p = ctx.Process(target=f)\n"
+        assert codes(src, path=self.POOL) == []
+        assert codes(src, path=ENGINE) == ["FM207"]
+
+    def test_rule_scoped_to_engine(self):
+        src = "p = ctx.Process(target=f)\n"
+        assert codes(src, path=OTHER) == []
+        assert codes(src, path="src/repro/hw/parallel_sim.py") == []
+
+    def test_line_disable(self):
+        src = "p = ctx.Process(target=f)  # fmlint: disable=FM207\n"
+        assert codes(src, path=ENGINE) == []
+
+
 class TestSuppression:
     def test_line_disable_specific_code(self):
         src = "for x in {1, 2}:  # fmlint: disable=FM201\n    print(x)\n"

@@ -229,3 +229,95 @@ def test_property_members_mask(needles, hay):
     got = kernels.members_mask(np.asarray(needles, dtype=np.int64), hay)
     want = [v in set(hay.tolist()) for v in needles]
     np.testing.assert_array_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Batch frontier kernel: segmented intersect vs the per-segment loop
+# ----------------------------------------------------------------------
+def naive_segmented(base, concat, offsets, bounds=None):
+    base_set = set(base.tolist())
+    raw, below = [], []
+    for i in range(len(offsets) - 1):
+        seg = concat[offsets[i]:offsets[i + 1]]
+        hits = [v for v in seg.tolist() if v in base_set]
+        if bounds is None:
+            bound = None
+        elif np.ndim(bounds) == 0:
+            bound = int(bounds)
+        else:
+            bound = int(bounds[i])
+        raw.append(len(hits))
+        below.append(
+            len(hits) if bound is None
+            else sum(1 for v in hits if v < bound)
+        )
+    return np.asarray(raw, dtype=np.int64), np.asarray(below, dtype=np.int64)
+
+
+def seg_case(segments):
+    concat = np.concatenate(
+        [arr(s) for s in segments] or [np.empty(0, dtype=np.int32)]
+    ).astype(np.int32)
+    offsets = np.zeros(len(segments) + 1, dtype=np.int64)
+    np.cumsum([len(set(s)) for s in segments], out=offsets[1:])
+    return concat, offsets
+
+
+SEGMENT_CASES = [
+    ([], []),                                      # no segments at all
+    ([[]], [1, 2, 3]),                             # one empty segment
+    ([[1, 2, 3], [], [2, 4, 6]], [2, 3, 4]),       # empty in the middle
+    ([[0, 5, 9], [5], [9, 10, 11]], []),           # empty base
+    ([list(range(0, 40, 2))] * 3, list(range(0, 40, 3))),
+    ([[7], [7], [7]], [7]),                        # repeated segments
+]
+
+
+@pytest.mark.parametrize("segments,base", SEGMENT_CASES)
+def test_segmented_intersect_matches_naive(segments, base):
+    base = arr(base)
+    concat, offsets = seg_case(segments)
+    for bounds in (None, 6, np.arange(len(segments), dtype=np.int64) * 4):
+        got = kernels.segmented_intersect_count(
+            base, concat, offsets, bounds=bounds
+        )
+        want = naive_segmented(base, concat, offsets, bounds=bounds)
+        np.testing.assert_array_equal(got[0], want[0])
+        np.testing.assert_array_equal(got[1], want[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    segments=st.lists(
+        st.lists(st.integers(min_value=0, max_value=60), max_size=12),
+        max_size=8,
+    ),
+    base=st.sets(st.integers(min_value=0, max_value=60), max_size=20),
+    scalar_bound=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=70)
+    ),
+)
+def test_property_segmented_intersect(segments, base, scalar_bound):
+    base = arr(base)
+    concat, offsets = seg_case(segments)
+    got = kernels.segmented_intersect_count(
+        base, concat, offsets, bounds=scalar_bound
+    )
+    want = naive_segmented(base, concat, offsets, bounds=scalar_bound)
+    np.testing.assert_array_equal(got[0], want[0])
+    np.testing.assert_array_equal(got[1], want[1])
+
+
+def test_gather_neighbors_matches_per_vertex_views():
+    from repro.graph import power_law_cluster
+
+    g = power_law_cluster(80, 3, 0.4, seed=3)
+    for verts in ([], [0], [5, 5, 2], list(range(0, 80, 7))):
+        verts = np.asarray(verts, dtype=np.int64)
+        concat, offsets = g.gather_neighbors(verts)
+        assert len(offsets) == len(verts) + 1
+        assert offsets[-1] == len(concat)
+        for i, v in enumerate(verts.tolist()):
+            np.testing.assert_array_equal(
+                concat[offsets[i]:offsets[i + 1]], g.neighbors(v)
+            )

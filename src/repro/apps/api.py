@@ -22,6 +22,12 @@ shared-memory copy of the graph, or ``pool=`` — a resident
 :class:`~repro.engine.pool.MinerPool` — to serve the request from
 already-forked workers (a caller answering many app requests creates
 the pool once and passes it to every call).
+
+``service=`` goes one step further: pass a resident
+:class:`~repro.serve.MiningService` and the request routes through its
+graph registry and plan/result caches (the graph auto-registers on
+first use).  The return value is still a :class:`MiningResult`, bit-
+identical to the direct engine — see ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -53,6 +59,34 @@ __all__ = [
 Result = Union[MiningResult, SimReport]
 
 APP_NAMES = ("TC", "k-CL", "SL", "k-MC")
+
+
+def _served(
+    service,
+    graph,
+    *,
+    backend: str,
+    workers: int,
+    pool,
+    collect: bool = False,
+    **request_fields,
+) -> MiningResult:
+    """Route one app call through a resident MiningService."""
+    if backend != "engine":
+        raise ConfigError(
+            "service= requires the 'engine' backend (the service mines "
+            "on PatternAwareEngine pool workers)"
+        )
+    if pool is not None or workers > 1:
+        raise ConfigError(
+            "service= owns its worker pools; drop workers=/pool="
+        )
+    if collect:
+        raise ConfigError("the mining service does not collect embeddings")
+    response = service.request_for(graph, **request_fields)
+    return MiningResult(
+        counts=response.counts, counters=response.counters
+    )
 
 
 def _run(
@@ -113,12 +147,13 @@ def triangle_count(
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
     pool=None,
+    service=None,
     profiler=None,
 ) -> Result:
     """TC: count triangles (3-cliques, orientation-optimized)."""
     return clique_count(
         graph, 3, backend=backend, config=config, workers=workers,
-        pool=pool, profiler=profiler,
+        pool=pool, service=service, profiler=profiler,
     )
 
 
@@ -130,9 +165,15 @@ def clique_count(
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
     pool=None,
+    service=None,
     profiler=None,
 ) -> Result:
     """k-CL: count k-cliques using the orientation technique (§V-C)."""
+    if service is not None:
+        return _served(
+            service, graph, backend=backend, workers=workers, pool=pool,
+            app="k-CL", k=k,
+        )
     pattern = k_clique(k)
     plan = compile_pattern(pattern)
     return _run(
@@ -158,9 +199,15 @@ def subgraph_list(
     collect: bool = False,
     workers: int = 1,
     pool=None,
+    service=None,
     profiler=None,
 ) -> Result:
     """SL: enumerate edge-induced matches of an arbitrary pattern."""
+    if service is not None:
+        return _served(
+            service, graph, backend=backend, workers=workers, pool=pool,
+            collect=collect, pattern=pattern,
+        )
     plan = compile_pattern(pattern, induced=False)
     return _run(
         graph,
@@ -184,9 +231,15 @@ def motif_count(
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
     pool=None,
+    service=None,
     profiler=None,
 ) -> Result:
     """k-MC: count every k-vertex motif simultaneously (multi-pattern)."""
+    if service is not None:
+        return _served(
+            service, graph, backend=backend, workers=workers, pool=pool,
+            motif_k=k,
+        )
     plan = compile_motifs(k)
     return _run(
         graph,
@@ -212,29 +265,31 @@ def run_app(
     config: Optional[FlexMinerConfig] = None,
     workers: int = 1,
     pool=None,
+    service=None,
     profiler=None,
 ) -> Result:
     """Dispatch by app name: 'TC', 'k-CL', 'SL' or 'k-MC'."""
     if app == "TC":
         return triangle_count(
             graph, backend=backend, config=config, workers=workers,
-            pool=pool, profiler=profiler,
+            pool=pool, service=service, profiler=profiler,
         )
     if app == "k-CL":
         return clique_count(
             graph, k, backend=backend, config=config, workers=workers,
-            pool=pool, profiler=profiler,
+            pool=pool, service=service, profiler=profiler,
         )
     if app == "SL":
         if pattern is None:
             raise ConfigError("SL needs a pattern")
         return subgraph_list(
             graph, pattern, backend=backend, config=config,
-            workers=workers, pool=pool, profiler=profiler,
+            workers=workers, pool=pool, service=service,
+            profiler=profiler,
         )
     if app == "k-MC":
         return motif_count(
             graph, k, backend=backend, config=config, workers=workers,
-            pool=pool, profiler=profiler,
+            pool=pool, service=service, profiler=profiler,
         )
     raise ConfigError(f"unknown app {app!r}; expected one of {APP_NAMES}")

@@ -58,6 +58,7 @@ __all__ = [
     "STREAM_CELL",
     "engine_bench",
     "run_engine_cell",
+    "run_served_stream_cell",
     "run_stream_cell",
     "write_engine_bench",
 ]
@@ -286,6 +287,68 @@ def run_stream_cell(
     }
 
 
+def run_served_stream_cell(
+    graph,
+    *,
+    app: str = "TC",
+    k: int = 3,
+    workers: int = 4,
+    requests: Optional[int] = None,
+) -> Dict[str, object]:
+    """Request-stream throughput through the resident serving layer.
+
+    Extends :func:`run_stream_cell` one layer up: the same identical
+    request stream goes through a :class:`~repro.serve.MiningService`
+    twice — once answered from the warm result cache (what a service
+    sustains on repeated traffic) and once with the cache bypassed
+    (every request executes on the warm pool, so the serving layer's
+    own dispatch cost is visible).  The warming request pays plan
+    compilation and the first execution before either timer starts.
+    """
+    from ..serve import MineRequest, MiningService
+
+    if requests is None:
+        requests = STREAM_REQUESTS_QUICK if quick_mode() else STREAM_REQUESTS
+    with MiningService(workers=workers) as service:
+        service.register_graph("bench", graph)
+        request = MineRequest(graph="bench", app=app, k=k)
+        expected = service.request(request)  # warm: compile + memoize
+        start = time.perf_counter()
+        for _ in range(requests):
+            result = service.request(request)
+            if result.counts != expected.counts:  # pragma: no cover
+                raise AssertionError("served request changed the counts")
+        cached_seconds = time.perf_counter() - start
+        uncached = MineRequest(
+            graph="bench", app=app, k=k, use_cache=False
+        )
+        start = time.perf_counter()
+        for _ in range(requests):
+            result = service.request(uncached)
+            if result.counts != expected.counts:  # pragma: no cover
+                raise AssertionError("served request changed the counts")
+        executed_seconds = time.perf_counter() - start
+        cache_stats = service.cache_stats()
+    return {
+        "workers": workers,
+        "requests": requests,
+        "counts": list(expected.counts),
+        "plan_compiles": cache_stats["plan"]["compiles"],
+        "result_cache_hits": cache_stats["result"]["hits"],
+        "cached_seconds": cached_seconds,
+        "executed_seconds": executed_seconds,
+        "cached_cells_per_s": (
+            requests / cached_seconds if cached_seconds else 0.0
+        ),
+        "executed_cells_per_s": (
+            requests / executed_seconds if executed_seconds else 0.0
+        ),
+        "cached_vs_executed_speedup": (
+            executed_seconds / cached_seconds if cached_seconds else 0.0
+        ),
+    }
+
+
 # ----------------------------------------------------------------------
 # Bench entry points
 # ----------------------------------------------------------------------
@@ -375,6 +438,21 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
     stream = h.engine_stream(
         stream_app, stream_dataset, workers=stream_workers
     )
+    served = h.engine_served_stream(
+        stream_app, stream_dataset, workers=stream_workers
+    )
+    if served["counts"] != stream["counts"]:  # pragma: no cover
+        raise AssertionError(
+            str(
+                Mismatch(
+                    f"{stream_app}/{stream_dataset}",
+                    "served-stream",
+                    "count",
+                    expected=stream["counts"],
+                    actual=served["counts"],
+                )
+            )
+        )
     return {
         "quick_mode": quick_mode(),
         "cpu_count": os.cpu_count(),
@@ -387,6 +465,9 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
             "parallel4_speedup": 2.0,
             "pool4_speedup": 2.0,
             "stream_warm_vs_spawn": 3.0,
+            # The served warm-cache rate must at least match the warm
+            # pool it sits on: a cache hit skips the mine entirely.
+            "served_cached_vs_warm_pool": 1.0,
             "note": "targets assume a multi-core host; single-core CI "
                     "boxes log the numbers without meeting the parallel "
                     "ones",
@@ -394,6 +475,9 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
         "cells": cells,
         "stream": {
             f"{stream_app}_{stream_dataset}_w{stream_workers}": stream,
+            f"{stream_app}_{stream_dataset}_served_w{stream_workers}": (
+                served
+            ),
         },
     }
 

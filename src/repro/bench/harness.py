@@ -162,6 +162,7 @@ class Harness:
         self._cpu_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
         self._engine_cache: Dict[Tuple, Tuple[float, MiningResult]] = {}
         self._stream_cache: Dict[Tuple, Dict[str, object]] = {}
+        self._served_stream_cache: Dict[Tuple, Dict[str, object]] = {}
 
     def plan(self, app: str):
         if app not in self._plans:
@@ -351,6 +352,11 @@ class Harness:
             for (app, dataset, workers), entry
             in self._stream_cache.items()
         }
+        stream_cells.update(
+            (f"{app}_{dataset}_served_w{workers}", dict(entry))
+            for (app, dataset, workers), entry
+            in self._served_stream_cache.items()
+        )
         return {
             "quick_mode": quick_mode(),
             "sim": sim_cells,
@@ -468,6 +474,45 @@ class Harness:
                 entry["warm_cells_per_s"]
             )
         return self._stream_cache[key]
+
+    def engine_served_stream(
+        self,
+        app: str,
+        dataset: str,
+        *,
+        workers: int = 4,
+        requests: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Served request-stream throughput for one cell (memoized).
+
+        Runs :func:`repro.bench.enginebench.run_served_stream_cell` —
+        the :func:`engine_stream` request stream one layer up, through
+        a resident :class:`~repro.serve.MiningService` — and publishes
+        the ``serve.stream_cells_per_s`` gauge (the warm-result-cache
+        rate: what the serving layer sustains on repeated traffic).
+        """
+        key = (app, dataset, workers)
+        if key not in self._served_stream_cache:
+            from .enginebench import run_served_stream_cell
+
+            log.debug(
+                "served stream %s/%s workers=%d", app, dataset, workers
+            )
+            self.metrics.counter("bench.served_stream_runs").inc()
+            with self.profiler.phase(
+                "serve-stream", app=app, dataset=dataset, workers=workers
+            ):
+                entry = run_served_stream_cell(
+                    self.graph(dataset),
+                    app=app,
+                    workers=workers,
+                    requests=requests,
+                )
+            self._served_stream_cache[key] = entry
+            self.metrics.gauge("serve.stream_cells_per_s").set(
+                entry["cached_cells_per_s"]
+            )
+        return self._served_stream_cache[key]
 
     def speedup(
         self,

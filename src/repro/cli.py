@@ -278,6 +278,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="record under (and restrict trends to) this host name",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="resident mining service: JSON-lines requests on stdin, "
+        "one JSON response per line on stdout (see docs/serving.md)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per registered graph's pool (1 = "
+        "in-process, exact serial parity)",
+    )
+    serve_p.add_argument(
+        "--max-active", type=int, default=8,
+        help="admission limit: in-flight requests beyond this are "
+        "rejected with a retryable overload response",
+    )
+    serve_p.add_argument(
+        "--threads", type=int, default=2,
+        help="request-executor threads (admitted requests beyond this "
+        "wait in the queue)",
+    )
+    serve_p.add_argument(
+        "--no-result-cache", action="store_true",
+        help="disable the result/memo cache (every request executes)",
+    )
+    serve_p.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-request pool timeout in seconds (wedged workers "
+        "surface as errors instead of hangs)",
+    )
+    serve_p.add_argument(
+        "--register", action="append", default=[], metavar="NAME=DATASET",
+        help="pre-register a suite dataset (repeatable); bare DATASET "
+        "registers under its own name",
+    )
+    serve_p.add_argument(
+        "--stats-report", metavar="FILE",
+        help="write a final flexminer.run/1 service report on exit "
+        "(render with 'flexminer stats FILE')",
+    )
+
     estimate_p = sub.add_parser(
         "estimate", help="per-level search-tree size estimates"
     )
@@ -518,6 +558,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{pattern.name:<16s}{count:>12d}")
         return 0
 
+    if args.command == "serve":
+        return _serve(args)
+
     if args.command == "bench-trend":
         return _bench_trend(args)
 
@@ -687,6 +730,42 @@ def _freeze_profile(prof, profile: bool):
     payload = prof.as_dict()
     text = prof.timeline() + "\n\n" + prof.table()
     return payload, text
+
+
+def _serve(args) -> int:
+    """``flexminer serve``: JSON-lines loop over a resident service."""
+    from .obs import write_report
+    from .serve import MiningService, serve_stream
+
+    service = MiningService(
+        workers=args.workers,
+        max_active=args.max_active,
+        threads=args.threads,
+        result_cache=not args.no_result_cache,
+        request_timeout_s=args.timeout,
+    )
+    try:
+        for spec in args.register:
+            name, _, dataset = spec.partition("=")
+            dataset = dataset or name
+            service.register_graph(name, load_dataset(dataset))
+            print(
+                f"serve: registered {name!r} ({dataset})", file=sys.stderr
+            )
+        handled = serve_stream(service, sys.stdin, sys.stdout)
+        print(f"serve: handled {handled} request(s)", file=sys.stderr)
+        if args.stats_report:
+            write_report(
+                args.stats_report,
+                service.stats_report(version=__version__),
+            )
+            print(
+                f"serve: stats written to {args.stats_report}",
+                file=sys.stderr,
+            )
+    finally:
+        service.close()
+    return 0
 
 
 def _bench_trend(args) -> int:

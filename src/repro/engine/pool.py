@@ -83,6 +83,10 @@ __all__ = [
 #: warm-up ping is sent first and discarded — it absorbs worker startup).
 CALIBRATION_PINGS = 8
 
+#: Result-queue poll period (seconds); worker death and request
+#: timeouts are detected at this granularity.
+_DRAIN_POLL_S = 1.0
+
 #: How many multiples of the measured dispatch overhead one chunk's
 #: *estimated* mining work must carry before auto-splitting engages.
 #: Below this, queue traffic costs more than the parallelism recovers.
@@ -102,11 +106,14 @@ WORK_RATE_UNITS_PER_S = 2.5e7
 
 
 class PoolWorkerError(RuntimeError):
-    """A pool worker raised or died; the pool is broken — close() it.
+    """A pool worker raised, died or stalled; the pool is broken.
 
     ``reason`` is ``"failed"`` (the worker sent a traceback before
-    exiting) or ``"died"`` (hard crash detected via exit code); the
-    traceback / exit codes are in ``detail``.
+    exiting), ``"died"`` (hard crash detected via exit code) or
+    ``"timeout"`` (no result arrived within the caller's request
+    timeout — a hung or wedged worker); the traceback / exit codes /
+    deadline are in ``detail``.  A broken pool refuses further
+    requests; ``close()`` it.
     """
 
     def __init__(self, worker_id, reason: str, detail: str = "") -> None:
@@ -160,6 +167,21 @@ def cost_model_split_degree(
     if max_degree < 2 * split:
         return None
     return split
+
+
+class _PoolLease:
+    """Context manager pairing :meth:`MinerPool.acquire`/``release``."""
+
+    __slots__ = ("_pool",)
+
+    def __init__(self, pool: "MinerPool") -> None:
+        self._pool = pool
+
+    def __enter__(self) -> "MinerPool":
+        return self._pool.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self._pool.release()
 
 
 def _pool_worker(
@@ -273,6 +295,7 @@ class MinerPool:
         tracer=None,
         metrics=None,
         profiler=None,
+        calibration_clock=None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -283,6 +306,10 @@ class MinerPool:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: Injectable monotonic clock for dispatch calibration (tests
+        #: pin the arithmetic with a fake stepped clock; None = the
+        #: LaneRecorder default, ``time.perf_counter``).
+        self._calibration_clock = calibration_clock
         self._options = {
             "use_frontier_memo": use_frontier_memo,
             "count_leaves": count_leaves,
@@ -305,6 +332,8 @@ class MinerPool:
         self._dispatch_overhead: Optional[float] = None
         self._requests = 0
         self._next_req = 0
+        self._leases = 0
+        self._close_pending = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -320,6 +349,68 @@ class MinerPool:
     @property
     def requests_served(self) -> int:
         return self._requests
+
+    @property
+    def leases(self) -> int:
+        return self._leases
+
+    def acquire(self) -> "MinerPool":
+        """Take one lease on the pool (see :meth:`lease`).
+
+        A leased pool defers :meth:`close` until the last
+        :meth:`release`, so a long-lived owner (the serving layer) can
+        hand the pool to concurrent requests without a teardown racing
+        an in-flight mine.  Acquiring a closed, closing or broken pool
+        raises.
+        """
+        self._check_open()
+        if self._close_pending:
+            raise RuntimeError(
+                "MinerPool is closing; no new leases accepted"
+            )
+        self._leases += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one lease; runs any deferred close at the last one."""
+        if self._leases <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        self._leases -= 1
+        if self._leases == 0 and self._close_pending:
+            self._close_pending = False
+            self.close()
+
+    def lease(self):
+        """Context-managed :meth:`acquire`/:meth:`release` pair."""
+        return _PoolLease(self)
+
+    def health(self) -> Dict[str, object]:
+        """Structured liveness snapshot (the serving layer's probe).
+
+        ``alive_workers`` counts resident processes whose exit code is
+        unset; a forked pool is healthy while it equals ``workers``.
+        The in-process ``workers=1`` configuration reports 0 resident
+        processes and stays healthy by construction.
+        """
+        alive = sum(
+            1 for proc in self._procs if proc.exitcode is None
+        )
+        healthy = (
+            not self._closed
+            and not self._broken
+            and (not self._procs or alive == len(self._procs))
+        )
+        return {
+            "healthy": healthy,
+            "closed": self._closed,
+            "broken": self._broken,
+            "workers": self.workers,
+            "resident_workers": len(self._procs),
+            "alive_workers": alive,
+            "leases": self._leases,
+            "requests_served": self._requests,
+            "dispatch_overhead_s": self._dispatch_overhead,
+        }
 
     def __enter__(self) -> "MinerPool":
         return self
@@ -338,8 +429,14 @@ class MinerPool:
 
         Idempotent: the second and later calls are no-ops.  Workers
         still draining a request get a grace join, then a terminate.
+        While leases are outstanding the close is *deferred*: the pool
+        stops accepting new leases-by-close-intent and tears down when
+        the last :meth:`release` lands.
         """
         if self._closed:
+            return
+        if self._leases > 0:
+            self._close_pending = True
             return
         self._closed = True
         procs, self._procs = self._procs, []
@@ -446,7 +543,7 @@ class MinerPool:
             return 0.0
         self._check_open()
         self._start()
-        rec = LaneRecorder()
+        rec = LaneRecorder(clock=self._calibration_clock)
         # Warm-up round trip absorbs worker startup + graph attach.
         self._ping(rec, -1, cat="calibrate-warmup")
         for i in range(pings):
@@ -489,6 +586,7 @@ class MinerPool:
         *,
         roots: Optional[Sequence[int]] = None,
         split_degree=None,
+        timeout_s: Optional[float] = None,
     ) -> MiningResult:
         """Serve one mining request against the resident workers.
 
@@ -497,6 +595,13 @@ class MinerPool:
         :class:`ParallelMiner`), or ``"auto"`` — let
         :meth:`auto_split_degree` decide from the cost model and the
         measured dispatch overhead.
+
+        ``timeout_s`` bounds the wait for worker results: a wedged
+        worker (alive but unresponsive) surfaces as a structured
+        :class:`PoolWorkerError` with ``reason="timeout"`` instead of a
+        hang, and the pool is marked broken.  The deadline is enforced
+        at result-queue poll granularity (~1 s), not as a precise
+        wall-clock budget.
         """
         self._check_open()
         multi = isinstance(plan, MultiPlan)
@@ -518,7 +623,9 @@ class MinerPool:
             tasks=len(tasks),
         ):
             with self.profiler.phase("mine", tasks=len(tasks)):
-                summaries = self.run_tasks(plan, tasks)
+                summaries = self.run_tasks(
+                    plan, tasks, timeout_s=timeout_s
+                )
         with self.profiler.phase("merge"):
             summaries.sort(key=lambda item: item[0])
             counts = [0] * (plan.num_patterns if multi else 1)
@@ -542,12 +649,20 @@ class MinerPool:
             self._publish_pool_gauges()
         return MiningResult(counts=tuple(counts), counters=counters)
 
-    def run_tasks(self, plan, tasks: Sequence[Task]) -> List[Tuple]:
+    def run_tasks(
+        self,
+        plan,
+        tasks: Sequence[Task],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> List[Tuple]:
         """Low-level entry: run explicit tasks, return worker summaries.
 
         Used by :meth:`mine` and by :class:`ParallelMiner`'s one-shot
         delegation; callers merge the ``(worker_id, summary)`` pairs
-        themselves.
+        themselves.  ``timeout_s`` has :meth:`mine`'s semantics (and is
+        ignored by the in-process ``workers=1`` path, which cannot
+        wedge on a queue).
         """
         self._check_open()
         multi = isinstance(plan, MultiPlan)
@@ -588,14 +703,27 @@ class MinerPool:
             for _ in self._procs:
                 self._task_queue.put(None)
         with self.profiler.lane_span("drain-results"):
-            return self._drain(req_id, len(self._procs))
+            return self._drain(req_id, len(self._procs), timeout_s=timeout_s)
 
-    def _drain(self, req_id, expected: int) -> List[Tuple]:
-        """Collect ``expected`` results for a request, watching for death."""
+    def _drain(
+        self,
+        req_id,
+        expected: int,
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> List[Tuple]:
+        """Collect ``expected`` results for a request, watching for death.
+
+        The deadline is tracked by counting 1-second poll rounds rather
+        than reading a clock (fmlint FM206: engine code never touches
+        the wall clock directly); accuracy is poll-granular, which is
+        all a hang detector needs.
+        """
         out: List[Tuple] = []
+        waited_s = 0.0
         while len(out) < expected:
             try:
-                message = self._result_queue.get(timeout=1.0)
+                message = self._result_queue.get(timeout=_DRAIN_POLL_S)
             except queue_module.Empty:
                 dead = [
                     (i, proc)
@@ -610,6 +738,21 @@ class MinerPool:
                         ids[0] if len(ids) == 1 else ids,
                         "died",
                         f"exit codes {codes}",
+                    )
+                waited_s += _DRAIN_POLL_S
+                if timeout_s is not None and waited_s >= timeout_s:
+                    self._broken = True
+                    stalled = [
+                        i
+                        for i, proc in enumerate(self._procs)
+                        if proc.exitcode is None
+                    ]
+                    raise PoolWorkerError(
+                        stalled if len(stalled) != 1 else stalled[0],
+                        "timeout",
+                        f"no result within ~{waited_s:.0f}s "
+                        f"(timeout_s={timeout_s}); workers alive but "
+                        "unresponsive",
                     )
                 continue
             kind, rid, worker_id, payload = message

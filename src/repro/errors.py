@@ -37,3 +37,32 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """A hardware or benchmark configuration is invalid."""
+
+
+class ServeError(ReproError):
+    """Base class for mining-service (``repro.serve``) failures."""
+
+
+class ServiceOverloaded(ServeError):
+    """Admission control rejected a request: ``max_active`` reached.
+
+    Backpressure, not failure — the caller should retry later or shed
+    load.  Carries ``active`` and ``max_active`` for the caller's
+    retry policy.
+    """
+
+    def __init__(self, active: int, max_active: int) -> None:
+        self.active = active
+        self.max_active = max_active
+        super().__init__(
+            f"service overloaded: {active} active request(s) at the "
+            f"max_active={max_active} admission limit"
+        )
+
+
+class GraphNotRegistered(ServeError):
+    """A request named a graph the service has not registered."""
+
+
+class ServiceClosed(ServeError):
+    """The mining service has been closed; no further requests."""

@@ -39,7 +39,16 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from .trace import NULL_TRACER
 
@@ -95,22 +104,29 @@ class LaneRecorder:
     ``hw/`` (fmlint FM206): busy/queue-wait accounting reads back out of
     the recorded spans via :meth:`total`, so timing cannot bypass the
     profile.
+
+    ``clock`` injects an alternative monotonic clock (a zero-argument
+    callable returning seconds).  Tests use a fake stepped clock to pin
+    calibration arithmetic without depending on wall time on loaded CI
+    boxes; only the recorded spans — never the recorder or its clock —
+    cross process boundaries, so any callable works.
     """
 
-    __slots__ = ("spans",)
+    __slots__ = ("spans", "_clock")
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self.spans: List[Span] = []
+        self._clock = clock if clock is not None else time.perf_counter
 
     @contextmanager
     def span(self, name: str, *, cat: str = "lane", **args):
         """Record one wall-clock span around a ``with`` body."""
-        t0 = time.perf_counter()
+        t0 = self._clock()
         try:
             yield
         finally:
             self.spans.append(
-                (name, t0, time.perf_counter(), cat, dict(args) or None)
+                (name, t0, self._clock(), cat, dict(args) or None)
             )
 
     def total(self, cat: str) -> float:

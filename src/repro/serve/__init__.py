@@ -1,0 +1,35 @@
+"""Mining-as-a-service: resident service over the persistent pool.
+
+The serving layer amortizes the three big fixed costs of one-shot
+mining — graph load + shared-memory export (per registered graph),
+plan compilation (per *canonical* pattern, ever), and worker fork
+(per pool) — across an arbitrary request stream, while preserving the
+engine's zero-drift guarantee: served counts and op counters are
+bit-identical to a direct serial run.
+
+* :class:`MiningService` — graph registry with epochs, single-flight
+  plan/result caches, bounded admission, ``serve.*`` metrics;
+* :class:`MineRequest` / :class:`MineResponse` — the request surface;
+* :func:`plan_cache_key` — canonical plan identity (shared by tests);
+* :func:`serve_stream` / :func:`handle_request` — the JSON-lines
+  transport behind ``flexminer serve``.
+
+See ``docs/serving.md`` for architecture and semantics.
+"""
+
+from .jsonl import handle_request, serve_stream
+from .service import (
+    MineRequest,
+    MineResponse,
+    MiningService,
+    plan_cache_key,
+)
+
+__all__ = [
+    "MineRequest",
+    "MineResponse",
+    "MiningService",
+    "handle_request",
+    "plan_cache_key",
+    "serve_stream",
+]

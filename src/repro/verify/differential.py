@@ -6,7 +6,10 @@ or off, probe kernels forced on), the frozen pre-kernel
 :class:`~repro.bench.enginebench.LegacyEngine`, the multi-process
 :class:`~repro.engine.parallel.ParallelMiner`, the persistent
 :class:`~repro.engine.pool.MinerPool` (each plan mined twice through
-one resident pool, so resident-worker state is exercised), and the
+one resident pool, so resident-worker state is exercised), the
+resident :class:`~repro.serve.MiningService` (two served requests, the
+second answered through the plan cache — and, for ``serve-cached``,
+the result cache — must both be bit-identical), and the
 cycle-level FlexMiner simulator — the latter in three timing flavors:
 legacy per-element loops, vectorized kernels, and the trace/replay
 parallel runner at several worker counts.  The differential runner executes a
@@ -262,6 +265,52 @@ def _pool(workers: int) -> Backend:
     return run
 
 
+def _serve(workers: int, *, cached: bool) -> Backend:
+    """The serving layer, exercised as a two-request stream.
+
+    Registers the case graph in a fresh :class:`MiningService` and
+    issues the same request twice.  The second request must come back
+    through the plan cache (and, with ``cached=True``, the result
+    cache) bit-identical to the first — the zero-drift guarantee of
+    ``docs/serving.md``, including the memoized path the direct engine
+    never takes.
+    """
+
+    def run(case: VerifyCase, plan):
+        from ..serve import MineRequest, MiningService
+
+        request = MineRequest(
+            graph="case",
+            pattern=case.pattern,
+            motif_k=case.motif_k,
+            induced=case.induced,
+            matching_order=case.matching_order,
+        )
+        with MiningService(workers=workers, result_cache=cached) as svc:
+            svc.register_graph("case", case.graph)
+            first = svc.request(request)
+            second = svc.request(request)
+        if not second.plan_cache_hit:
+            raise AssertionError(
+                "second identical request recompiled its plan"
+            )
+        if cached and not second.result_cache_hit:
+            raise AssertionError(
+                "second identical request missed the result cache"
+            )
+        if (
+            first.counts != second.counts
+            or first.counters.as_dict() != second.counters.as_dict()
+        ):
+            raise AssertionError(
+                "served request stream drifted between identical "
+                f"requests: {first.counts} then {second.counts}"
+            )
+        return second.counts, second.counters
+
+    return run
+
+
 class _SimReportCounters:
     """Adapter exposing a full :class:`~repro.hw.report.SimReport` dict
     through the backend counter protocol, so the sim-family drift check
@@ -319,6 +368,8 @@ BACKENDS: Dict[str, Backend] = {
     "parallel-4": _parallel(4),
     "pool-2": _pool(2),
     "pool-4": _pool(4),
+    "serve-pool-2": _serve(2, cached=False),
+    "serve-cached": _serve(1, cached=True),
     "sim": _sim,
     "sim-fast": _sim_fast,
     "sim-parallel-1": _sim_parallel(1),
@@ -341,6 +392,8 @@ ZERO_DRIFT_BACKENDS: Tuple[str, ...] = (
     "parallel-4",
     "pool-2",
     "pool-4",
+    "serve-pool-2",
+    "serve-cached",
 )
 
 #: Simulator backends whose *entire SimReport* must be bit-identical to

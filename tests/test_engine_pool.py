@@ -10,6 +10,8 @@ close() is idempotent, shared-memory segments are unlinked on shutdown
 split degree.
 """
 
+import os
+import signal
 from multiprocessing import shared_memory
 
 import pytest
@@ -35,6 +37,25 @@ PL = power_law_cluster(200, 3, 0.4, seed=9, name="pl")
 
 def serial(graph, plan, **kw):
     return PatternAwareEngine(graph, plan, **kw).run()
+
+
+class SteppedClock:
+    """Fake monotonic clock: advances one fixed step per reading.
+
+    Injected into the pool's calibration path, it makes every recorded
+    ping span exactly ``step`` seconds long regardless of host load —
+    the calibration mean is then ``step`` by arithmetic, not by timing.
+    """
+
+    def __init__(self, step: float) -> None:
+        self.step = step
+        self.now = 0.0
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        self.reads += 1
+        return self.now
 
 
 # ----------------------------------------------------------------------
@@ -139,12 +160,40 @@ class TestCostModel:
             assert pool.dispatch_overhead_s == 0.0
             assert pool.auto_split_degree(plan) is None
 
-    def test_forked_pool_measures_overhead(self):
-        with MinerPool(ER, workers=2) as pool:
+    def test_forked_pool_calibration_arithmetic_pinned(self):
+        # A stepped fake clock pins the calibration arithmetic exactly:
+        # each of the CALIBRATION_PINGS spans is one step long, so the
+        # mean IS the step — no wall-clock dependence on loaded hosts.
+        from repro.engine.pool import CALIBRATION_PINGS
+
+        clock = SteppedClock(0.25)
+        with MinerPool(ER, workers=2, calibration_clock=clock) as pool:
             overhead = pool.dispatch_overhead_s
-            assert overhead > 0.0
-            # Cached: the second read is the same object, no re-ping.
+            assert overhead == 0.25
+            # Warm-up ping + measured pings, two reads per span.
+            assert clock.reads == 2 * (CALIBRATION_PINGS + 1)
+            # Cached: the second read is the same value, no re-ping.
             assert pool.dispatch_overhead_s == overhead
+            assert clock.reads == 2 * (CALIBRATION_PINGS + 1)
+
+    def test_fake_clock_auto_split_deterministic(self):
+        # With the calibrated overhead pinned by the fake clock, the
+        # pool's auto split degree equals the cost model's closed-form
+        # answer for that overhead — end to end, deterministically.
+        plan = compile_pattern(four_cycle())  # not oriented: work
+        assert not plan.oriented             # graph is PL itself
+        step = 2.0 ** -20  # ~1 µs, exactly representable
+        clock = SteppedClock(step)
+        with MinerPool(PL, workers=2, calibration_clock=clock) as pool:
+            assert pool.dispatch_overhead_s == step
+            assert pool.auto_split_degree(plan) == cost_model_split_degree(
+                PL, plan, dispatch_overhead_s=step
+            )
+        # A one-second fake step prices every chunk out: no splitting.
+        clock = SteppedClock(1.0)
+        with MinerPool(PL, workers=2, calibration_clock=clock) as pool:
+            assert pool.dispatch_overhead_s == 1.0
+            assert pool.auto_split_degree(plan) is None
 
 
 # ----------------------------------------------------------------------
@@ -203,6 +252,28 @@ class TestLifecycle:
         finally:
             pool.close()
 
+    def test_timeout_raises_instead_of_hanging(self):
+        # SIGSTOP leaves workers alive but unresponsive — the exact
+        # failure mode the "died" check cannot see.  The request
+        # timeout must surface it as a structured error, not a hang.
+        plan = compile_pattern(triangle())
+        pool = MinerPool(ER, workers=2)
+        try:
+            pool.mine(plan)  # forks the workers
+            for proc in pool._procs:
+                os.kill(proc.pid, signal.SIGSTOP)
+            with pytest.raises(PoolWorkerError, match="timeout") as exc:
+                pool.mine(plan, timeout_s=1.0)
+            assert exc.value.reason == "timeout"
+            assert pool.broken
+        finally:
+            for proc in pool._procs:
+                try:
+                    os.kill(proc.pid, signal.SIGCONT)
+                except ProcessLookupError:  # pragma: no cover
+                    pass
+            pool.close()
+
     def test_worker_exception_surfaces_with_traceback(self):
         pool = MinerPool(ER, workers=2)
         try:
@@ -215,6 +286,76 @@ class TestLifecycle:
             assert pool.broken
         finally:
             pool.close()
+
+
+# ----------------------------------------------------------------------
+# Leases and health (the serving layer's contract)
+# ----------------------------------------------------------------------
+class TestLeases:
+    def test_lease_defers_close_until_last_release(self):
+        pool = MinerPool(ER, workers=1)
+        plan = compile_pattern(triangle())
+        with pool.lease():
+            with pool.lease():  # leases nest (one per request)
+                pool.close()
+                assert not pool.closed  # deferred, still serving
+                got = pool.mine(plan)
+                assert got.counts == serial(ER, plan).counts
+            assert not pool.closed
+        assert pool.closed  # last release ran the deferred close
+
+    def test_close_without_leases_is_immediate(self):
+        pool = MinerPool(ER, workers=1)
+        pool.acquire()
+        pool.release()
+        pool.close()
+        assert pool.closed
+
+    def test_acquire_while_closing_rejected(self):
+        pool = MinerPool(ER, workers=1)
+        pool.acquire()
+        pool.close()  # deferred
+        with pytest.raises(RuntimeError, match="closing"):
+            pool.acquire()
+        pool.release()
+        assert pool.closed
+
+    def test_release_without_acquire_raises(self):
+        pool = MinerPool(ER, workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="acquire"):
+                pool.release()
+        finally:
+            pool.close()
+
+    def test_acquire_closed_pool_raises(self):
+        pool = MinerPool(ER, workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.acquire()
+
+    def test_health_snapshot(self):
+        pool = MinerPool(ER, workers=2)
+        try:
+            pool.mine(compile_pattern(triangle()))
+            with pool.lease():
+                health = pool.health()
+                assert health["healthy"]
+                assert health["resident_workers"] == 2
+                assert health["alive_workers"] == 2
+                assert health["leases"] == 1
+                assert health["requests_served"] == 1
+        finally:
+            pool.close()
+        health = pool.health()
+        assert not health["healthy"]
+        assert health["closed"]
+
+    def test_health_in_process_pool(self):
+        with MinerPool(ER, workers=1) as pool:
+            health = pool.health()
+            assert health["healthy"]
+            assert health["resident_workers"] == 0
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,10 @@ class TestErrorHierarchy:
             "IRSyntaxError",
             "SimulationError",
             "ConfigError",
+            "ServeError",
+            "ServiceOverloaded",
+            "GraphNotRegistered",
+            "ServiceClosed",
         ):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError)
@@ -50,6 +54,7 @@ class TestPublicSurface:
             "repro.apps",
             "repro.bench",
             "repro.obs",
+            "repro.serve",
         ],
     )
     def test_all_exports_resolve(self, module_name):

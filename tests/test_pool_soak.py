@@ -1,0 +1,144 @@
+"""Soak/leak tests: pools and services must clean up, every time.
+
+A resident serving process opens and closes pools for as long as it
+lives; a single leaked shared-memory segment or orphaned worker per
+cycle is a production outage.  These tests cycle pools and services —
+including crash and wedge rounds — and assert the host is left exactly
+as found: no new ``/dev/shm`` segments, no live child processes, and
+structured errors (never hangs) for wedged workers.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.compiler import compile_pattern
+from repro.engine import MinerPool, PoolWorkerError
+from repro.graph import erdos_renyi
+from repro.serve import MineRequest, MiningService
+from repro.patterns import k_clique, triangle
+
+ER = erdos_renyi(120, 0.07, seed=21, name="er")
+PL = erdos_renyi(90, 0.09, seed=23, name="pl")
+
+SHM_DIR = "/dev/shm"
+
+
+def shm_segments():
+    """Current shared-memory segment names (empty off-Linux)."""
+    try:
+        return set(os.listdir(SHM_DIR))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@pytest.fixture
+def leak_check():
+    """Assert no new shm segments / child processes survive the test."""
+    before_shm = shm_segments()
+    yield
+    leaked = shm_segments() - before_shm
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    children = multiprocessing.active_children()
+    assert not children, f"orphaned worker processes: {children}"
+
+
+class TestPoolSoak:
+    def test_repeated_pool_cycles_leak_nothing(self, leak_check):
+        plan = compile_pattern(triangle())
+        expected = None
+        for round_no in range(6):
+            workers = 1 + round_no % 2  # alternate in-process / forked
+            with MinerPool(ER, workers=workers) as pool:
+                result = pool.mine(plan)
+            if expected is None:
+                expected = result.counts
+            assert result.counts == expected
+
+    def test_killed_worker_round_still_cleans_up(self, leak_check):
+        plan = compile_pattern(triangle())
+        for _ in range(3):
+            pool = MinerPool(ER, workers=2)
+            try:
+                pool.mine(plan)
+                victim = pool._procs[0]
+                victim.terminate()
+                victim.join()
+                with pytest.raises(PoolWorkerError) as exc:
+                    pool.mine(plan)
+                assert exc.value.reason == "died"
+            finally:
+                pool.close()
+
+    def test_wedged_worker_times_out_and_cleans_up(self, leak_check):
+        # SIGSTOP wedges workers (alive, unresponsive): the request
+        # must end in a structured timeout error, and close() must
+        # still reclaim every segment and process.
+        plan = compile_pattern(triangle())
+        pool = MinerPool(ER, workers=2)
+        try:
+            pool.mine(plan)
+            for proc in pool._procs:
+                os.kill(proc.pid, signal.SIGSTOP)
+            with pytest.raises(PoolWorkerError) as exc:
+                pool.mine(plan, timeout_s=1.0)
+            assert exc.value.reason == "timeout"
+        finally:
+            for proc in pool._procs:
+                try:
+                    os.kill(proc.pid, signal.SIGCONT)
+                except ProcessLookupError:  # pragma: no cover
+                    pass
+            pool.close()
+
+    def test_unused_pool_cycles_leak_nothing(self, leak_check):
+        for _ in range(5):
+            MinerPool(ER, workers=2).close()  # never forked
+
+
+class TestServiceSoak:
+    def test_repeated_service_cycles_leak_nothing(self, leak_check):
+        expected = {}
+        for _ in range(4):
+            with MiningService(workers=1) as svc:
+                svc.register_graph("er", ER)
+                svc.register_graph("pl", PL)
+                for gname in ("er", "pl"):
+                    for pattern in (triangle(), k_clique(4)):
+                        response = svc.request(
+                            MineRequest(graph=gname, pattern=pattern)
+                        )
+                        key = (gname, pattern.name)
+                        expected.setdefault(key, response.counts)
+                        assert response.counts == expected[key]
+
+    def test_register_unregister_churn_leaks_nothing(self, leak_check):
+        with MiningService(workers=2) as svc:
+            for round_no in range(4):
+                svc.register_graph("g", ER if round_no % 2 else PL)
+                svc.mine("g", app="TC")
+                svc.unregister_graph("g")
+            assert svc.graphs() == []
+
+    def test_service_timeout_is_structured_not_a_hang(self, leak_check):
+        with MiningService(workers=2, request_timeout_s=1.0) as svc:
+            svc.register_graph("er", ER)
+            svc.mine("er", app="TC")  # forks + warms the pool
+            procs = svc._graphs["er"].pool._procs
+            for proc in procs:
+                os.kill(proc.pid, signal.SIGSTOP)
+            try:
+                with pytest.raises(PoolWorkerError) as exc:
+                    svc.mine("er", app="TC", use_cache=False)
+                assert exc.value.reason == "timeout"
+            finally:
+                for proc in procs:
+                    try:
+                        os.kill(proc.pid, signal.SIGCONT)
+                    except ProcessLookupError:  # pragma: no cover
+                        pass
+            # The broken pool is replaced by re-registering the graph.
+            svc.register_graph("er", ER)
+            assert svc.mine("er", app="TC").counts

@@ -1,0 +1,176 @@
+"""Concurrency tests for the mining service.
+
+N threads hammer one service with interleaved requests across two
+graphs and three patterns.  The assertions are exact, not statistical:
+
+* every response is bit-identical to the direct serial engine for its
+  (graph, pattern) cell — arrival order cannot leak into results;
+* the compiler ran exactly once per canonical pattern (single-flight
+  plan cache), so plan-cache hits match the closed-form expectation
+  ``requests - distinct_patterns``;
+* admission control never let more than ``max_active`` requests in
+  flight, and overloads surfaced as rejections, never hangs.
+"""
+
+import threading
+
+import pytest
+
+from repro.compiler import compile_pattern
+from repro.engine import PatternAwareEngine
+from repro.errors import ServiceOverloaded
+from repro.graph import erdos_renyi, power_law_cluster
+from repro.serve import MineRequest, MiningService
+from repro.patterns import four_cycle, k_clique, triangle
+
+GRAPHS = {
+    "er": erdos_renyi(100, 0.08, seed=11, name="er"),
+    "pl": power_law_cluster(120, 3, 0.4, seed=13, name="pl"),
+}
+PATTERNS = {
+    "triangle": triangle(),
+    "4-clique": k_clique(4),
+    "4-cycle": four_cycle(),
+}
+
+#: Direct serial ground truth per (graph, pattern) cell.
+BASELINE = {
+    (gname, pname): PatternAwareEngine(
+        graph, compile_pattern(pattern)
+    ).run()
+    for gname, graph in GRAPHS.items()
+    for pname, pattern in PATTERNS.items()
+}
+
+
+def _cells(repeat: int):
+    """The interleaved request schedule: every cell, ``repeat`` times."""
+    return [
+        (gname, pname)
+        for _ in range(repeat)
+        for gname in GRAPHS
+        for pname in PATTERNS
+    ]
+
+
+class TestInterleavedRequests:
+    @pytest.mark.parametrize("threads", [4, 8])
+    def test_results_independent_of_arrival_order(self, threads):
+        repeat = 4
+        schedule = _cells(repeat)
+        with MiningService(
+            workers=1, max_active=len(schedule), threads=threads
+        ) as svc:
+            for name, graph in GRAPHS.items():
+                svc.register_graph(name, graph)
+            barrier = threading.Barrier(threads)
+            results = {}
+            errors = []
+
+            def worker(worker_id: int) -> None:
+                barrier.wait()  # maximize interleaving
+                try:
+                    for i, (gname, pname) in enumerate(schedule):
+                        if i % threads != worker_id:
+                            continue
+                        response = svc.request(
+                            MineRequest(
+                                graph=gname, pattern=PATTERNS[pname]
+                            )
+                        )
+                        results[(worker_id, i)] = (gname, pname, response)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            pool = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(threads)
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+
+            assert not errors
+            assert len(results) == len(schedule)
+            for gname, pname, response in results.values():
+                base = BASELINE[(gname, pname)]
+                assert response.counts == base.counts
+                assert (
+                    response.counters.as_dict() == base.counters.as_dict()
+                )
+
+            # Closed-form plan-cache expectation: the cache is global
+            # across graphs, so 3 distinct canonical patterns compile
+            # exactly once each; every other request is a hit.
+            assert svc.compiles == len(PATTERNS)
+            plan = svc.cache_stats()["plan"]
+            assert plan["misses"] == len(PATTERNS)
+            assert plan["hits"] == len(schedule) - len(PATTERNS)
+
+            # Admission stayed within bounds and nothing was rejected.
+            assert svc.active_peak <= len(schedule)
+            assert svc.requests_rejected == 0
+            assert svc.requests_completed == len(schedule)
+
+    def test_single_flight_compiles_under_concurrent_first_requests(self):
+        # 8 threads race the very first request for the same pattern:
+        # one leader compiles, everyone else waits for that plan.
+        with MiningService(workers=1, max_active=16, threads=8) as svc:
+            svc.register_graph("er", GRAPHS["er"])
+            barrier = threading.Barrier(8)
+            responses = []
+            lock = threading.Lock()
+
+            def worker() -> None:
+                barrier.wait()
+                response = svc.request(
+                    MineRequest(graph="er", pattern=k_clique(4))
+                )
+                with lock:
+                    responses.append(response)
+
+            pool = [threading.Thread(target=worker) for _ in range(8)]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+
+            assert len(responses) == 8
+            assert svc.compiles == 1
+            base = BASELINE[("er", "4-clique")]
+            for response in responses:
+                assert response.counts == base.counts
+            # Single-flight result cache: the mine also ran only once.
+            stats = svc.stats()
+            assert (
+                stats["graphs"]["er"]["pool"]["requests_served"] == 1
+            )
+
+    def test_admission_bound_is_enforced_under_load(self):
+        max_active = 3
+        with MiningService(
+            workers=1, max_active=max_active, threads=2
+        ) as svc:
+            svc.register_graph("er", GRAPHS["er"])
+            entry = svc._graphs["er"]
+            admitted = []
+            with entry.mine_lock:  # park every admitted request
+                for _ in range(max_active):
+                    admitted.append(
+                        svc.submit(MineRequest(graph="er", app="TC"))
+                    )
+                rejected = 0
+                for _ in range(5):
+                    try:
+                        svc.submit(MineRequest(graph="er", app="TC"))
+                    except ServiceOverloaded:
+                        rejected += 1
+                assert rejected == 5
+                assert svc.active_tasks == max_active
+            for future in admitted:
+                future.result()
+            assert svc.active_peak == max_active
+            assert svc.requests_rejected == 5
+            # Rejections cleared: the service takes traffic again.
+            assert svc.mine("er", app="TC").counts

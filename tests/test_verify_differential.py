@@ -42,6 +42,15 @@ class TestFullMatrix:
         assert report.ok, [str(m) for m in report.mismatches]
         assert all(len(c) == 2 for c in report.counts.values())
 
+    def test_serve_backends_registered_and_zero_drift(self):
+        # The serving layer participates in the differential matrix,
+        # and is held to the bit-identical OpCounters invariant — the
+        # caches must not change what gets counted, only when.
+        assert "serve-pool-2" in BACKENDS
+        assert "serve-cached" in BACKENDS
+        assert "serve-pool-2" in ZERO_DRIFT_BACKENDS
+        assert "serve-cached" in ZERO_DRIFT_BACKENDS
+
     def test_correct_expected_passes(self):
         graph = small_graph(2)
         truth = run_case(

@@ -3,7 +3,9 @@
 Times the frozen pre-kernel engine (``LegacyEngine``) against the
 current serial engine, the multi-process ``ParallelMiner`` (per-call
 spawn) and the warmed persistent ``MinerPool``, plus a request-stream
-cell separating steady-state throughput from cold-start; asserts
+cell separating steady-state throughput from cold-start and a
+``frontier_sweep`` (recursive vs level-synchronous batch frontier at
+workers 1/2/4 with peak RSS); asserts
 count/counter parity, and writes the cross-PR diffable
 ``BENCH_engine.json`` artifact (plus a human-readable text summary under
 ``benchmarks/results/``).
@@ -36,13 +38,33 @@ def _render(payload) -> str:
                     f"({sub['speedup_vs_legacy']:.2f}x vs legacy, "
                     f"{sub['speedup_vs_kernel']:.2f}x vs kernel)"
                 )
+    for cell, sweep in payload["frontier_sweep"].items():
+        for workers, sub in sorted(
+            sweep.items(), key=lambda kv: int(kv[0])
+        ):
+            lines.append(
+                f"  frontier {cell} x{workers}: "
+                f"recursive {sub['recursive_seconds'] * 1e3:8.2f} ms "
+                f"({sub['recursive_peak_rss_kb']} kB), "
+                f"batch {sub['batch_seconds'] * 1e3:8.2f} ms "
+                f"({sub['batch_peak_rss_kb']} kB) -> "
+                f"{sub['speedup']:.2f}x"
+            )
     for cell, stream in payload["stream"].items():
-        lines.append(
-            f"  stream {cell}: warm {stream['warm_cells_per_s']:.1f} "
-            f"cells/s vs spawn {stream['spawn_cells_per_s']:.1f} cells/s "
-            f"({stream['warm_vs_spawn_speedup']:.2f}x, dispatch "
-            f"{stream['dispatch_overhead_s'] * 1e6:.0f} us)"
-        )
+        if "warm_cells_per_s" in stream:
+            lines.append(
+                f"  stream {cell}: warm {stream['warm_cells_per_s']:.1f} "
+                f"cells/s vs spawn {stream['spawn_cells_per_s']:.1f} "
+                f"cells/s ({stream['warm_vs_spawn_speedup']:.2f}x, "
+                f"dispatch {stream['dispatch_overhead_s'] * 1e6:.0f} us)"
+            )
+        else:
+            lines.append(
+                f"  stream {cell}: cached "
+                f"{stream['cached_cells_per_s']:.1f} cells/s vs executed "
+                f"{stream['executed_cells_per_s']:.1f} cells/s "
+                f"({stream['cached_vs_executed_speedup']:.2f}x)"
+            )
     return "\n".join(lines)
 
 
@@ -59,6 +81,16 @@ def test_engine_kernel_bench(benchmark, harness, save_artifact):
     assert cell["counts"] and cell["kernel_seconds"] > 0
     assert set(cell["parallel"]) == {"1", "2", "4"}
     assert set(cell["pool"]) == {"1", "2", "4"}
+
+    # The frontier sweep covers both apps at every worker count, and
+    # its parity (counts AND op counters, recursive vs batch) is
+    # asserted inside engine_bench.
+    assert set(payload["frontier_sweep"]) == {"4-CL_As", "TC_As"}
+    for sweep in payload["frontier_sweep"].values():
+        assert set(sweep) == {"1", "2", "4"}
+        for sub in sweep.values():
+            assert sub["recursive_seconds"] > 0
+            assert sub["batch_seconds"] > 0
 
     # The stream cell must separate steady-state from cold-start and
     # carry the calibrated dispatch-overhead constant in the envelope.

@@ -27,6 +27,12 @@ conventions nothing enforced until now:
   in ``engine/`` outside :mod:`repro.engine.pool`: per-request process
   spawning is exactly the overhead the persistent pool exists to
   amortize, so all worker lifecycles live in one audited module.
+* **FM208** — no per-element Python ``for`` loops over ndarray contents
+  inside :mod:`repro.engine.kernels` hot functions: the kernels module
+  exists to keep set algebra vectorized, and an interpreter-speed loop
+  over array elements silently re-introduces the O(n) Python overhead
+  the frontier engine batches away.  Documented scalar fallbacks carry
+  the standard per-line suppression.
 
 Rules are deliberately *syntactic*: they flag the patterns that caused
 (or nearly caused) real drift bugs, run in milliseconds, and are each
@@ -93,6 +99,14 @@ FM207 = register_code(
     "route worker lifecycles through repro.engine.pool (MinerPool, or "
     "ParallelMiner's pool delegation); per-request Process/Pool spawns "
     "re-pay the startup cost the persistent pool amortizes",
+)
+
+FM208 = register_code(
+    "FM208", "per-element Python loop over ndarray contents in a kernel",
+    "error",
+    "vectorize with numpy (searchsorted/cumsum/fancy indexing) or move "
+    "the loop out of repro.engine.kernels; a documented scalar fallback "
+    "may stay with '# fmlint: disable=FM208' on the loop line",
 )
 
 _SUPPRESS_RE = re.compile(
@@ -413,6 +427,101 @@ def _check_process_construction(
             )
 
 
+def _is_ndarray_annotation(node: ast.AST) -> bool:
+    """``np.ndarray`` / ``ndarray`` / ``Optional[np.ndarray]`` — but NOT
+    container types like ``Sequence[np.ndarray]``, whose loops are
+    per-array rather than per-element."""
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ndarray"
+    if isinstance(node, ast.Name):
+        return node.id == "ndarray"
+    if isinstance(node, ast.Subscript):
+        name = _dotted_name(node.value)
+        if name.rsplit(".", 1)[-1] == "Optional":
+            return _is_ndarray_annotation(node.slice)
+    return False
+
+
+def _ndarray_params(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Set[str]:
+    """Parameter names annotated as ``np.ndarray`` (top level)."""
+    names: Set[str] = set()
+    args = (
+        list(func.args.posonlyargs)
+        + list(func.args.args)
+        + list(func.args.kwonlyargs)
+    )
+    for arg in args:
+        if arg.annotation is not None and _is_ndarray_annotation(
+            arg.annotation
+        ):
+            names.add(arg.arg)
+    return names
+
+
+def _is_len_of(node: ast.AST, names: Set[str]) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _dotted_name(node.func) == "len"
+        and bool(node.args)
+        and isinstance(node.args[0], ast.Name)
+        and node.args[0].id in names
+    )
+
+
+def _iterates_elements(node: ast.AST, names: Set[str]) -> bool:
+    """The iterable walks an ndarray parameter element-by-element."""
+    if isinstance(node, ast.Name):
+        return node.id in names
+    if isinstance(node, ast.Subscript) and isinstance(
+        node.value, ast.Name
+    ):
+        # A slice of an ndarray parameter still yields its elements.
+        return node.value.id in names
+    if isinstance(node, ast.Call):
+        fname = _dotted_name(node.func)
+        if fname in ("range", "enumerate", "zip", "reversed"):
+            return any(
+                _iterates_elements(arg, names) or _is_len_of(arg, names)
+                for arg in node.args
+            )
+    return False
+
+
+def _check_elementwise_loops(
+    ctx: LintContext,
+) -> Iterator[Tuple[int, str]]:
+    """FM208: interpreter-speed element loops inside kernel functions."""
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        names = _ndarray_params(func)
+        if not names:
+            continue
+        for node in func.body:
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.For) and _iterates_elements(
+                    inner.iter, names
+                ):
+                    yield (
+                        inner.lineno,
+                        f"Python for loop over ndarray contents in "
+                        f"{func.name}()",
+                    )
+                elif isinstance(
+                    inner,
+                    (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+                ):
+                    for gen in inner.generators:
+                        if _iterates_elements(gen.iter, names):
+                            yield (
+                                inner.lineno,
+                                f"comprehension over ndarray contents in "
+                                f"{func.name}()",
+                            )
+
+
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(
         FM201, _check_unordered_iteration, paths=("engine/", "hw/")
@@ -423,6 +532,9 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(FM205, _check_wallclock, paths=("hw/",)),
     LintRule(FM206, _check_direct_timing, paths=("engine/", "hw/")),
     LintRule(FM207, _check_process_construction, paths=("engine/",)),
+    LintRule(
+        FM208, _check_elementwise_loops, paths=("engine/kernels.py",)
+    ),
 )
 
 

@@ -69,6 +69,7 @@ def _served(
     workers: int,
     pool,
     collect: bool = False,
+    batch_frontier: bool = False,
     **request_fields,
 ) -> MiningResult:
     """Route one app call through a resident MiningService."""
@@ -80,6 +81,11 @@ def _served(
     if pool is not None or workers > 1:
         raise ConfigError(
             "service= owns its worker pools; drop workers=/pool="
+        )
+    if batch_frontier:
+        raise ConfigError(
+            "service= fixes engine options at construction; build the "
+            "MiningService with batch_frontier=True instead"
         )
     if collect:
         raise ConfigError("the mining service does not collect embeddings")
@@ -100,6 +106,7 @@ def _run(
     collect: bool,
     workers: int = 1,
     pool=None,
+    batch_frontier: bool = False,
     profiler=None,
 ) -> Result:
     if (workers > 1 or pool is not None) and backend != "engine":
@@ -107,11 +114,23 @@ def _run(
             "workers > 1 (and pool=) require the 'engine' backend (the "
             "parallel miner runs PatternAwareEngine workers)"
         )
+    if batch_frontier and backend != "engine":
+        raise ConfigError(
+            "batch_frontier=True requires the 'engine' backend (the "
+            "level-synchronous frontier mode is a PatternAwareEngine "
+            "feature)"
+        )
     if backend == "engine":
         if pool is not None:
             if collect:
                 raise ConfigError(
                     "the worker pool does not collect embeddings"
+                )
+            if batch_frontier:
+                raise ConfigError(
+                    "a resident pool fixes engine options at "
+                    "construction; build the MinerPool with "
+                    "batch_frontier=True instead"
                 )
             return pool.mine(plan)
         if workers > 1:
@@ -120,10 +139,12 @@ def _run(
                     "the parallel miner does not collect embeddings"
                 )
             return ParallelMiner(
-                graph, plan, workers=workers, profiler=profiler
+                graph, plan, workers=workers,
+                batch_frontier=batch_frontier, profiler=profiler,
             ).mine()
         return PatternAwareEngine(
-            graph, plan, collect=collect, profiler=profiler
+            graph, plan, collect=collect,
+            batch_frontier=batch_frontier, profiler=profiler,
         ).run()
     if backend == "cmap":
         return CMapSoftwareEngine(graph, plan, collect=collect).run()
@@ -148,12 +169,14 @@ def triangle_count(
     workers: int = 1,
     pool=None,
     service=None,
+    batch_frontier: bool = False,
     profiler=None,
 ) -> Result:
     """TC: count triangles (3-cliques, orientation-optimized)."""
     return clique_count(
         graph, 3, backend=backend, config=config, workers=workers,
-        pool=pool, service=service, profiler=profiler,
+        pool=pool, service=service, batch_frontier=batch_frontier,
+        profiler=profiler,
     )
 
 
@@ -166,13 +189,14 @@ def clique_count(
     workers: int = 1,
     pool=None,
     service=None,
+    batch_frontier: bool = False,
     profiler=None,
 ) -> Result:
     """k-CL: count k-cliques using the orientation technique (§V-C)."""
     if service is not None:
         return _served(
             service, graph, backend=backend, workers=workers, pool=pool,
-            app="k-CL", k=k,
+            batch_frontier=batch_frontier, app="k-CL", k=k,
         )
     pattern = k_clique(k)
     plan = compile_pattern(pattern)
@@ -186,6 +210,7 @@ def clique_count(
         collect=False,
         workers=workers,
         pool=pool,
+        batch_frontier=batch_frontier,
         profiler=profiler,
     )
 
@@ -200,13 +225,15 @@ def subgraph_list(
     workers: int = 1,
     pool=None,
     service=None,
+    batch_frontier: bool = False,
     profiler=None,
 ) -> Result:
     """SL: enumerate edge-induced matches of an arbitrary pattern."""
     if service is not None:
         return _served(
             service, graph, backend=backend, workers=workers, pool=pool,
-            collect=collect, pattern=pattern,
+            collect=collect, batch_frontier=batch_frontier,
+            pattern=pattern,
         )
     plan = compile_pattern(pattern, induced=False)
     return _run(
@@ -219,6 +246,7 @@ def subgraph_list(
         collect=collect,
         workers=workers,
         pool=pool,
+        batch_frontier=batch_frontier,
         profiler=profiler,
     )
 
@@ -232,13 +260,14 @@ def motif_count(
     workers: int = 1,
     pool=None,
     service=None,
+    batch_frontier: bool = False,
     profiler=None,
 ) -> Result:
     """k-MC: count every k-vertex motif simultaneously (multi-pattern)."""
     if service is not None:
         return _served(
             service, graph, backend=backend, workers=workers, pool=pool,
-            motif_k=k,
+            batch_frontier=batch_frontier, motif_k=k,
         )
     plan = compile_motifs(k)
     return _run(
@@ -251,6 +280,7 @@ def motif_count(
         collect=False,
         workers=workers,
         pool=pool,
+        batch_frontier=batch_frontier,
         profiler=profiler,
     )
 
@@ -266,18 +296,21 @@ def run_app(
     workers: int = 1,
     pool=None,
     service=None,
+    batch_frontier: bool = False,
     profiler=None,
 ) -> Result:
     """Dispatch by app name: 'TC', 'k-CL', 'SL' or 'k-MC'."""
     if app == "TC":
         return triangle_count(
             graph, backend=backend, config=config, workers=workers,
-            pool=pool, service=service, profiler=profiler,
+            pool=pool, service=service, batch_frontier=batch_frontier,
+            profiler=profiler,
         )
     if app == "k-CL":
         return clique_count(
             graph, k, backend=backend, config=config, workers=workers,
-            pool=pool, service=service, profiler=profiler,
+            pool=pool, service=service, batch_frontier=batch_frontier,
+            profiler=profiler,
         )
     if app == "SL":
         if pattern is None:
@@ -285,11 +318,12 @@ def run_app(
         return subgraph_list(
             graph, pattern, backend=backend, config=config,
             workers=workers, pool=pool, service=service,
-            profiler=profiler,
+            batch_frontier=batch_frontier, profiler=profiler,
         )
     if app == "k-MC":
         return motif_count(
             graph, k, backend=backend, config=config, workers=workers,
-            pool=pool, service=service, profiler=profiler,
+            pool=pool, service=service, batch_frontier=batch_frontier,
+            profiler=profiler,
         )
     raise ConfigError(f"unknown app {app!r}; expected one of {APP_NAMES}")

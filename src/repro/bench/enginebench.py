@@ -58,6 +58,7 @@ __all__ = [
     "STREAM_CELL",
     "engine_bench",
     "run_engine_cell",
+    "run_frontier_cell",
     "run_served_stream_cell",
     "run_stream_cell",
     "write_engine_bench",
@@ -232,6 +233,51 @@ def _run_pool_cell(
                 )
             best = seconds if best is None else min(best, seconds)
     return best, result
+
+
+def run_frontier_cell(
+    graph,
+    plan,
+    *,
+    batch: bool,
+    workers: int = 1,
+    repeats: int = 2,
+):
+    """Time one frontier-sweep configuration with peak RSS.
+
+    ``batch=False`` is the recursive reference, ``batch=True`` the
+    level-synchronous frontier mode; ``workers > 1`` routes through
+    :class:`ParallelMiner` with no straggler splitting, so counts *and*
+    op counters stay comparable across every cell of the sweep.
+    Returns ``(seconds, peak_rss_kb, MiningResult)`` — seconds is the
+    best of ``repeats``, peak RSS the max (RSS never shrinks within a
+    process; the max is the honest high-water mark).
+    """
+    from ..obs import PhaseProfiler
+
+    best = None
+    peak_rss = 0
+    result = None
+    for _ in range(max(1, repeats)):
+        prof = PhaseProfiler()
+        with prof.phase("mine"):
+            if workers > 1:
+                run = ParallelMiner(
+                    graph, plan, workers=workers, batch_frontier=batch
+                ).mine()
+            else:
+                run = PatternAwareEngine(
+                    graph, plan, batch_frontier=batch
+                ).run()
+        rec = prof.phases()[-1]
+        if result is not None and run.counts != result.counts:
+            raise AssertionError(  # pragma: no cover - invariant
+                "frontier bench repeat changed the counts"
+            )
+        result = run
+        best = rec.wall_s if best is None else min(best, rec.wall_s)
+        peak_rss = max(peak_rss, rec.peak_rss_kb)
+    return best, peak_rss, result
 
 
 def run_stream_cell(
@@ -434,6 +480,62 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
             app, dataset, legacy_s * 1e3, kernel_s * 1e3,
             entry["kernel_speedup"],
         )
+    frontier_sweep: Dict[str, object] = {}
+    for app, dataset in ENGINE_BENCH_CELLS:
+        graph = h.graph(dataset)
+        plan = h.plan(app)
+        sweep: Dict[str, object] = {}
+        for workers in WORKER_SWEEP:
+            rec_s, rec_rss, rec = run_frontier_cell(
+                graph, plan, batch=False, workers=workers
+            )
+            bat_s, bat_rss, bat = run_frontier_cell(
+                graph, plan, batch=True, workers=workers
+            )
+            if bat.counts != rec.counts:
+                raise AssertionError(
+                    str(
+                        Mismatch(
+                            f"{app}/{dataset}",
+                            f"frontier-{workers}",
+                            "count",
+                            expected=list(rec.counts),
+                            actual=list(bat.counts),
+                        )
+                    )
+                )
+            if bat.counters.as_dict() != rec.counters.as_dict():
+                ref = rec.counters.as_dict()
+                got = bat.counters.as_dict()
+                keys = sorted(k for k in ref if ref[k] != got[k])
+                raise AssertionError(
+                    str(
+                        Mismatch(
+                            f"{app}/{dataset}",
+                            f"frontier-{workers}",
+                            "counter-drift",
+                            expected={k: ref[k] for k in keys},
+                            actual={k: got[k] for k in keys},
+                            detail="drift vs recursive",
+                        )
+                    )
+                )
+            sweep[str(workers)] = {
+                "recursive_seconds": rec_s,
+                "batch_seconds": bat_s,
+                "speedup": rec_s / bat_s if bat_s else 0.0,
+                "recursive_peak_rss_kb": rec_rss,
+                "batch_peak_rss_kb": bat_rss,
+            }
+        frontier_sweep[f"{app}_{dataset}"] = sweep
+        log.info(
+            "frontier sweep %s/%s w=1: recursive %.1f ms, batch %.1f ms "
+            "(%.2fx)",
+            app, dataset,
+            sweep["1"]["recursive_seconds"] * 1e3,
+            sweep["1"]["batch_seconds"] * 1e3,
+            sweep["1"]["speedup"],
+        )
     stream_app, stream_dataset, stream_workers = STREAM_CELL
     stream = h.engine_stream(
         stream_app, stream_dataset, workers=stream_workers
@@ -462,6 +564,8 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
         "dispatch_overhead_s": stream["dispatch_overhead_s"],
         "targets": {
             "kernel_speedup": 1.3,
+            # batch-frontier vs recursive at workers=1 (frontier_sweep).
+            "frontier_speedup": 1.5,
             "parallel4_speedup": 2.0,
             "pool4_speedup": 2.0,
             "stream_warm_vs_spawn": 3.0,
@@ -473,6 +577,7 @@ def engine_bench(harness: Optional[Harness] = None) -> Dict[str, object]:
                     "ones",
         },
         "cells": cells,
+        "frontier_sweep": frontier_sweep,
         "stream": {
             f"{stream_app}_{stream_dataset}_w{stream_workers}": stream,
             f"{stream_app}_{stream_dataset}_served_w{stream_workers}": (

@@ -127,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "(wall-clock option; merged op counters are inflated); "
                 "'auto' asks the cost model, requires --pool",
             )
+            p.add_argument(
+                "--batch-frontier", action="store_true",
+                help="level-synchronous frontier expansion: extend one "
+                "whole level at a time with segmented kernels "
+                "(bit-identical counts and op counters; falls back to "
+                "recursion past the frontier memory budget)",
+            )
 
     motifs_p = sub.add_parser("motifs", help="k-motif counting")
     motifs_p.add_argument("k", type=int)
@@ -311,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--register", action="append", default=[], metavar="NAME=DATASET",
         help="pre-register a suite dataset (repeatable); bare DATASET "
         "registers under its own name",
+    )
+    serve_p.add_argument(
+        "--batch-frontier", action="store_true",
+        help="run pool workers in level-synchronous frontier mode "
+        "(bit-identical results; see docs/performance.md)",
     )
     serve_p.add_argument(
         "--stats-report", metavar="FILE",
@@ -613,6 +625,9 @@ def _mine_or_sim(args, *, profile: bool = False) -> int:
         run_meta["workers"] = args.workers
         use_pool = getattr(args, "pool", False)
         split_degree = args.split_degree
+        batch_frontier = getattr(args, "batch_frontier", False)
+        if batch_frontier:
+            run_meta["batch_frontier"] = True
         if split_degree == "auto" and not use_pool:
             print(
                 "--split-degree auto needs the calibrated pool; "
@@ -624,7 +639,8 @@ def _mine_or_sim(args, *, profile: bool = False) -> int:
             run_meta["pool"] = True
             with prof.phase("setup", workers=args.workers):
                 pool = MinerPool(
-                    graph, workers=args.workers, tracer=tracer,
+                    graph, workers=args.workers,
+                    batch_frontier=batch_frontier, tracer=tracer,
                     profiler=prof,
                 )
             try:
@@ -641,14 +657,16 @@ def _mine_or_sim(args, *, profile: bool = False) -> int:
             with prof.phase("setup", workers=args.workers):
                 miner = ParallelMiner(
                     graph, plan, workers=args.workers,
-                    split_degree=split_degree, tracer=tracer,
+                    split_degree=split_degree,
+                    batch_frontier=batch_frontier, tracer=tracer,
                     profiler=prof,
                 )
             result = miner.mine()
         else:
             with prof.phase("setup"):
                 engine = PatternAwareEngine(
-                    graph, plan, tracer=tracer, profiler=prof
+                    graph, plan, batch_frontier=batch_frontier,
+                    tracer=tracer, profiler=prof,
                 )
             result = engine.run()
         seconds = cpu_time_seconds(result.counters)
@@ -743,6 +761,7 @@ def _serve(args) -> int:
         threads=args.threads,
         result_cache=not args.no_result_cache,
         request_timeout_s=args.timeout,
+        batch_frontier=args.batch_frontier,
     )
     try:
         for spec in args.register:

@@ -96,12 +96,30 @@ class PatternAwareEngine:
         the fast path itself (the engine bench's baseline mode).
     batch_leaves:
         When the leaf level is countable and its op chain reduces to a
-        single varying intersection (cliques do, on every oriented
-        plan), process the whole parent frontier with one vectorized
-        segmented kernel instead of one count per Python-loop
+        single varying intersection or difference (cliques do, on every
+        oriented plan), process the whole parent frontier with one
+        vectorized segmented kernel instead of one count per Python-loop
         iteration.  Counts and counters stay bit-identical — the batch
         path charges the exact per-candidate merge-model amounts in
         closed form; disable to measure the batching itself.
+    batch_frontier:
+        Level-synchronous execution: instead of one DFS recursion per
+        partial embedding, represent the whole depth-``d`` frontier as
+        an ``(n_emb, d)`` embedding matrix plus segmented candidate
+        arrays and expand one entire level per step with the segmented
+        kernels (the data-parallel G2Miner formulation), falling into
+        the batched leaf count at the last level.  Counts and counters
+        stay bit-identical to the recursive path — every level charges
+        the closed-form sum of what the per-embedding loop would have
+        charged.  Off by default; see ``frontier_row_limit`` for the
+        memory budget.
+    frontier_row_limit:
+        Memory budget for ``batch_frontier``: when expanding the next
+        level is estimated to materialize more than this many elements
+        (or the frontier already holds more rows), the engine falls
+        back to plain recursion for the remainder of that task.  The
+        fallback is charge-identical, so it only trades speed for
+        memory.
     tracer:
         Optional :class:`repro.obs.Tracer`; ``run()`` wraps the mining
         phase in a wall-clock span.  Defaults to the no-op tracer.
@@ -124,6 +142,8 @@ class PatternAwareEngine:
         use_frontier_memo: bool = True,
         count_leaves: bool = True,
         batch_leaves: bool = True,
+        batch_frontier: bool = False,
+        frontier_row_limit: int = 1 << 22,
         work_graph: Optional[CSRGraph] = None,
         tracer=None,
         metrics=None,
@@ -135,6 +155,8 @@ class PatternAwareEngine:
         self.use_frontier_memo = use_frontier_memo
         self.count_leaves = count_leaves
         self.batch_leaves = batch_leaves
+        self.batch_frontier = batch_frontier
+        self.frontier_row_limit = frontier_row_limit
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.profiler = profiler if profiler is not None else NULL_PROFILER
@@ -178,6 +200,21 @@ class PatternAwareEngine:
         self._leaf_depth = None if self._multi else plan.num_levels - 1
         self._steps = None if self._multi else plan.steps
         self._batch_leaf = self._batch_leaf_shape()
+        # Level-synchronous frontier mode: only meaningful for
+        # single-pattern plans with at least one interior level; engines
+        # that override candidate generation (legacy, c-map) must keep
+        # their per-embedding hooks, so they are routed to recursion.
+        self._frontier_ok = (
+            batch_frontier
+            and not self._multi
+            and self.supports_leaf_counting
+            and self._leaf_depth is not None
+            and self._leaf_depth >= 2
+        )
+        self._frontier_keyspace = max(1, self._work_graph.num_vertices)
+        self._frontier_rows = 0
+        self._frontier_peak = 0
+        self._frontier_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -210,20 +247,48 @@ class PatternAwareEngine:
                 patterns=self._num_patterns,
             )
         with span:
-            for v0 in roots:
-                if (
-                    root_label is not None
-                    and int(self._labels[int(v0)]) != root_label
-                ):
-                    continue
-                self.run_task(int(v0))
+            if self._frontier_ok:
+                self._run_frontier_roots(roots, root_label)
+            else:
+                for v0 in roots:
+                    if (
+                        root_label is not None
+                        and int(self._labels[int(v0)]) != root_label
+                    ):
+                        continue
+                    self.run_task(int(v0))
         self.counters.matches = sum(self._counts)
         self.metrics.absorb(self.counters.as_dict(), prefix="engine.")
+        if self.batch_frontier:
+            self.metrics.absorb(
+                self.frontier_stats(), prefix="engine.frontier."
+            )
         return MiningResult(
             counts=tuple(self._counts),
             counters=self.counters,
             embeddings=self._embeddings if self.collect else None,
         )
+
+    def _run_frontier_roots(self, roots, root_label) -> None:
+        """Serial batch-frontier entry: every root in ONE frontier.
+
+        The per-root :meth:`run_task` loop would hand the level kernels
+        one tiny frontier per root; seeding a single ``(n_roots, 1)``
+        matrix instead lets each level run over the whole graph's
+        frontier at once (the G2Miner formulation).  Charges are
+        closed-form sums over frontier rows, so counts and counters are
+        bit-identical to the root-at-a-time walk.
+        """
+        root_arr = np.asarray(
+            roots if isinstance(roots, np.ndarray) else list(roots),
+            dtype=np.int64,
+        )
+        if root_label is not None:
+            root_arr = root_arr[self._labels[root_arr] == root_label]
+        if len(root_arr) == 0:
+            return
+        self.counters.tasks += len(root_arr)
+        self._mine_frontier_from(root_arr[:, None])
 
     def run_task(
         self, v0: int, *, chunk: Optional[Tuple[int, int]] = None
@@ -244,10 +309,23 @@ class PatternAwareEngine:
         self._on_descend(0, emb)
         if self._multi:
             self._extend_node(self.plan.root, emb)
+        elif self._frontier_ok:
+            self._mine_frontier(v0)
         else:
             self._extend(1, emb)
         self._on_backtrack(0, emb)
         self._chunk = None
+
+    def frontier_stats(self) -> Dict[str, int]:
+        """Batch-frontier telemetry: rows expanded across all levels,
+        the widest frontier seen, and how often the memory budget forced
+        the recursion fallback.  Published as ``engine.frontier.*``
+        gauges by :meth:`run` when frontier mode is on."""
+        return {
+            "rows_expanded": self._frontier_rows,
+            "peak_width": self._frontier_peak,
+            "fallbacks": self._frontier_fallbacks,
+        }
 
     # Hooks for subclasses (the software c-map engine maintains its map
     # here; the base engine does nothing).
@@ -436,26 +514,48 @@ class PatternAwareEngine:
         Injectivity must be a provable no-op (``covers_all_ancestors``)
         because the batch never materializes candidates to exclude from.
 
-        Returns ``("memo", None)``, ``("direct", fixed_emb_index)`` or
-        ``None`` (fall back to the per-vertex leaf path).
+        Difference-only leaves (one varying *difference* instead of one
+        varying intersection) batch too: those steps never cover all
+        ancestors, so the injectivity exclusions are folded into the
+        count the same way ``difference_count_below``'s ``exclude``
+        argument does on the scalar path.
+
+        Returns ``("memo", None)``, ``("direct", fixed_emb_index)``,
+        ``("memo-diff", None)``, ``("diff-fixed", fixed_emb_index)``,
+        ``("diff-varying", fixed_emb_index)`` or ``None`` (fall back to
+        the per-vertex leaf path).
         """
         if self._multi or self._leaf_depth is None or self._leaf_depth < 2:
             return None
         step = self._steps[self._leaf_depth - 1]
-        if not step.covers_all_ancestors or step.label is not None:
+        if step.label is not None:
             return None
         d = self._leaf_depth - 1
         if self.use_frontier_memo and step.base_step is not None:
-            if step.extra_disconnected or tuple(step.extra_connected) != (d,):
-                return None
-            return ("memo", None)
-        if step.disconnected:
+            extra_c = tuple(step.extra_connected)
+            extra_d = tuple(step.extra_disconnected)
+            if extra_c == (d,) and not extra_d and step.covers_all_ancestors:
+                return ("memo", None)
+            if extra_d == (d,) and not extra_c:
+                return ("memo-diff", None)
             return None
         connected = tuple(step.connected)
-        if step.extender == d and len(connected) == 1 and connected[0] != d:
-            return ("direct", connected[0])
-        if step.extender != d and connected == (d,):
-            return ("direct", step.extender)
+        disconnected = tuple(step.disconnected)
+        if not disconnected and step.covers_all_ancestors:
+            if (
+                step.extender == d
+                and len(connected) == 1
+                and connected[0] != d
+            ):
+                return ("direct", connected[0])
+            if step.extender != d and connected == (d,):
+                return ("direct", step.extender)
+            return None
+        if not connected and len(disconnected) == 1:
+            if step.extender != d and disconnected == (d,):
+                return ("diff-fixed", step.extender)
+            if step.extender == d and disconnected[0] != d:
+                return ("diff-varying", disconnected[0])
         return None
 
     def _count_leaf_batch(self, emb: Sequence[int], cands: np.ndarray) -> int:
@@ -474,7 +574,7 @@ class PatternAwareEngine:
         concat, offsets = self._work_graph.gather_neighbors(cands)
         total = int(offsets[-1])
         c = self.counters
-        if kind == "memo":
+        if kind in ("memo", "memo-diff"):
             base = self._raw_stack[step.base_step]
             c.frontier_hits += n
             c.adjacency_loads += n
@@ -485,7 +585,11 @@ class PatternAwareEngine:
                 c.frontier_misses += n
             c.adjacency_loads += 2 * n
             c.adjacency_bytes += 4 * (total + n * len(base))
-        c.set_intersections += n
+        intersecting = kind in ("memo", "direct")
+        if intersecting:
+            c.set_intersections += n
+        else:
+            c.set_differences += n
         c.setop_iterations += n * len(base) + total
         bounds = None
         if step.upper_bounds:
@@ -494,11 +598,336 @@ class PatternAwareEngine:
                 bounds = np.minimum(cands, min(fixed)) if fixed else cands
             else:
                 bounds = min(fixed)
-        raw, below = kernels.segmented_intersect_count(
-            base, concat, offsets, bounds
-        )
+        if intersecting:
+            raw, below = kernels.segmented_intersect_count(
+                base, concat, offsets, bounds
+            )
+        else:
+            # "memo-diff"/"diff-fixed" keep the fixed base as the
+            # minuend (base \ adj(v)); "diff-varying" subtracts the
+            # fixed base from each candidate's adjacency.
+            raw, below = kernels.segmented_difference_count(
+                base,
+                concat,
+                offsets,
+                bounds,
+                swap=kind in ("memo-diff", "diff-fixed"),
+            )
         c.candidates_checked += int(raw.sum())
-        return int(below.sum())
+        count = int(below.sum())
+        if not step.covers_all_ancestors and count:
+            count -= self._batch_leaf_excluded(
+                kind, emb, cands, base, concat, offsets, bounds
+            )
+        return count
+
+    def _batch_leaf_excluded(
+        self, kind, emb, cands, base, concat, offsets, bounds
+    ) -> int:
+        """Injectivity exclusions for the batched difference leaves.
+
+        Mirrors the per-candidate ``exclude`` subtraction of
+        ``difference_count_below``: an embedding vertex — including the
+        just-placed candidate itself — is subtracted once per row where
+        it survives the difference and sits below that row's bound.
+        """
+        swap = kind in ("memo-diff", "diff-fixed")
+        excluded = np.zeros(len(cands), dtype=np.int64)
+        if swap:
+            # The candidate vertex: v never neighbors itself, so for
+            # base \ adj(v) it survives exactly when v ∈ base.
+            in_result = kernels.members_mask(cands, base)
+            if bounds is not None:
+                in_result = in_result & (cands < bounds)
+            excluded += in_result
+        for u in emb:
+            u = int(u)
+            if swap:
+                if not kernels.contains(base, u):
+                    continue
+                hits = ~(
+                    kernels.segment_sums(concat == u, offsets) > 0
+                )
+            else:
+                if kernels.contains(base, u):
+                    continue
+                hits = kernels.segment_sums(concat == u, offsets) > 0
+            if bounds is not None:
+                hits = hits & (u < np.asarray(bounds))
+            excluded += hits
+        return int(excluded.sum())
+
+    # ------------------------------------------------------------------
+    # Level-synchronous frontier execution (batch_frontier=True)
+    # ------------------------------------------------------------------
+    def _mine_frontier(self, v0: int) -> None:
+        """Expand one root's search subtree a level at a time (the
+        per-task entry the pool/parallel workers call)."""
+        self._mine_frontier_from(np.full((1, 1), v0, dtype=np.int64))
+
+    def _mine_frontier_from(self, emb: np.ndarray) -> None:
+        """Expand a whole frontier of partial embeddings level by level.
+
+        The frontier at depth ``d`` is an ``(n_emb, d)`` embedding
+        matrix; each level gathers every row's operand adjacency lists
+        into one segmented array and runs the segmented kernels once per
+        plan operation instead of once per embedding.  Raw candidate
+        lists are kept per level (``stores``) with a row→segment origin
+        map so deeper steps' frontier-memo composition reads the same
+        arrays the recursive ``_raw_stack`` would have held.  Counts and
+        counters are bit-identical to :meth:`_extend` — every charge
+        below is the closed-form sum of the per-embedding charges.
+        """
+        leaf_depth = self._leaf_depth
+        stores: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [
+            None
+        ] * (leaf_depth + 1)
+        origins: List[Optional[np.ndarray]] = [None] * (leaf_depth + 1)
+        for depth in range(emb.shape[1], leaf_depth):
+            step = self._steps[depth - 1]
+            if self._frontier_over_budget(step, emb, stores, origins):
+                self._frontier_fallbacks += 1
+                self._frontier_recurse(depth, emb, stores, origins)
+                return
+            raw_concat, raw_offsets = self._frontier_raw(
+                step, emb, stores, origins
+            )
+            stores[depth] = (raw_concat, raw_offsets)
+            f_concat, f_offsets = self._frontier_filter(
+                step, emb, raw_concat, raw_offsets
+            )
+            if depth == 1 and self._chunk is not None:
+                index, total = self._chunk
+                f_concat = np.array_split(f_concat, total)[index]
+                f_offsets = np.array([0, len(f_concat)], dtype=np.int64)
+            n_rows = len(f_concat)
+            self._frontier_rows += n_rows
+            if n_rows > self._frontier_peak:
+                self._frontier_peak = n_rows
+            if n_rows == 0:
+                return
+            parent = np.repeat(
+                np.arange(len(emb), dtype=np.int64), np.diff(f_offsets)
+            )
+            emb = np.concatenate(
+                [emb[parent], f_concat[:, None].astype(np.int64)], axis=1
+            )
+            for t in range(1, depth):
+                if origins[t] is not None:
+                    origins[t] = origins[t][parent]
+            origins[depth] = parent
+        step = self._steps[leaf_depth - 1]
+        if self._frontier_over_budget(step, emb, stores, origins):
+            self._frontier_fallbacks += 1
+            self._frontier_recurse(leaf_depth, emb, stores, origins)
+            return
+        if self._leaf_countable(step):
+            self._counts[0] += self._frontier_count_leaf(
+                step, emb, stores, origins
+            )
+            return
+        raw_concat, raw_offsets = self._frontier_raw(
+            step, emb, stores, origins
+        )
+        f_concat, f_offsets = self._frontier_filter(
+            step, emb, raw_concat, raw_offsets
+        )
+        self._counts[0] += len(f_concat)
+        if self.collect and len(f_concat):
+            parent = np.repeat(
+                np.arange(len(emb), dtype=np.int64), np.diff(f_offsets)
+            )
+            full = np.concatenate(
+                [emb[parent], f_concat[:, None].astype(np.int64)], axis=1
+            )
+            self._embeddings.extend(
+                tuple(int(x) for x in row) for row in full
+            )
+
+    def _frontier_over_budget(self, step, emb, stores, origins) -> bool:
+        """Memory budget: would expanding this level materialize more
+        than ``frontier_row_limit`` elements (or is the frontier itself
+        already wider)?  A pure size estimate from index arithmetic —
+        no counters are charged, so the fallback stays bit-identical."""
+        limit = self.frontier_row_limit
+        if len(emb) > limit:
+            return True
+        if self.use_frontier_memo and step.base_step is not None:
+            s_concat, s_offsets = stores[step.base_step]
+            take = origins[step.base_step]
+            estimate = int(
+                (s_offsets[take + 1] - s_offsets[take]).sum()
+            )
+        else:
+            degrees = self._work_graph.degrees()
+            estimate = int(degrees[emb[:, step.extender]].sum())
+        return estimate > limit
+
+    def _frontier_recurse(self, depth, emb, stores, origins) -> None:
+        """Fallback: finish every frontier row with plain recursion.
+
+        Reconstructs the per-row ``_raw_stack`` slices from the level
+        stores so frontier-memo composition below ``depth`` behaves
+        exactly as if the whole path had been walked recursively."""
+        stored = [t for t in range(1, depth) if stores[t] is not None]
+        for r in range(len(emb)):
+            for t in stored:
+                s_concat, s_offsets = stores[t]
+                i = int(origins[t][r])
+                self._raw_stack[t] = s_concat[
+                    s_offsets[i] : s_offsets[i + 1]
+                ]
+            self._extend(depth, [int(x) for x in emb[r]])
+
+    def _frontier_operands(self, step, emb, stores, origins):
+        """Shared head of the raw-candidate chain: the starting
+        segmented candidate arrays plus the remaining (kind, slot) ops,
+        with the same frontier-hit/miss and adjacency charges the
+        per-embedding path makes."""
+        n = len(emb)
+        c = self.counters
+        if self.use_frontier_memo and step.base_step is not None:
+            c.frontier_hits += n
+            s_concat, s_offsets = stores[step.base_step]
+            cands, offsets = kernels.gather_segments(
+                s_concat, s_offsets, origins[step.base_step]
+            )
+            ops = [(True, d) for d in step.extra_connected] + [
+                (False, d) for d in step.extra_disconnected
+            ]
+        else:
+            if step.base_step is not None:
+                c.frontier_misses += n
+            cands, offsets = self._gather_adjacency(
+                emb[:, step.extender]
+            )
+            ops = [(True, d) for d in step.connected] + [
+                (False, d) for d in step.disconnected
+            ]
+        return cands, offsets, ops
+
+    def _frontier_fold(self, emb, cands, offsets, is_intersect, d):
+        """One segmented set operation over the whole frontier, charged
+        exactly like ``len(emb)`` per-row counted ops."""
+        other, other_offsets = self._gather_adjacency(emb[:, d])
+        c = self.counters
+        if is_intersect:
+            c.set_intersections += len(emb)
+        else:
+            c.set_differences += len(emb)
+        c.setop_iterations += int(offsets[-1]) + int(other_offsets[-1])
+        op = (
+            kernels.segmented_pair_intersect
+            if is_intersect
+            else kernels.segmented_pair_difference
+        )
+        return op(
+            cands, offsets, other, other_offsets, self._frontier_keyspace
+        )
+
+    def _frontier_raw(self, step, emb, stores, origins):
+        """Batched :meth:`_raw_candidates`: one segmented op per plan
+        operation instead of one per embedding row."""
+        cands, offsets, ops = self._frontier_operands(
+            step, emb, stores, origins
+        )
+        for is_intersect, d in ops:
+            cands, offsets = self._frontier_fold(
+                emb, cands, offsets, is_intersect, d
+            )
+        return cands, offsets
+
+    def _frontier_filter(self, step, emb, cands, offsets):
+        """Batched :meth:`_filtered_candidates`: bound cut, label
+        filter, and injectivity as per-element masks over the segmented
+        candidate array."""
+        self.counters.candidates_checked += len(cands)
+        mask = None
+        if step.upper_bounds:
+            bounds = np.min(emb[:, list(step.upper_bounds)], axis=1)
+            mask = cands < np.repeat(bounds, np.diff(offsets))
+        if step.label is not None:
+            label_ok = self._labels[cands] == step.label
+            mask = label_ok if mask is None else mask & label_ok
+        if not step.covers_all_ancestors:
+            keep = self._frontier_member_mask(emb, cands, offsets)
+            np.logical_not(keep, out=keep)
+            mask = keep if mask is None else mask & keep
+        if mask is None:
+            return cands, offsets
+        csum = np.concatenate(([0], np.cumsum(mask, dtype=np.int64)))
+        return cands[mask], csum[offsets]
+
+    def _frontier_member_mask(self, emb, cands, offsets) -> np.ndarray:
+        """Per-element mask: candidate equals one of its own row's
+        embedding vertices (the injectivity exclusions)."""
+        rows = kernels.segment_ids(offsets)
+        mask = np.zeros(len(cands), dtype=bool)
+        for j in range(emb.shape[1]):
+            mask |= cands == emb[rows, j]
+        return mask
+
+    def _frontier_count_leaf(self, step, emb, stores, origins) -> int:
+        """Batched :meth:`_count_leaf`: the whole leaf level counted in
+        one pass, with per-row symmetry bounds and injectivity
+        exclusions folded into the segmented count kernel."""
+        c = self.counters
+        bounds = (
+            np.min(emb[:, list(step.upper_bounds)], axis=1)
+            if step.upper_bounds
+            else None
+        )
+        cands, offsets, ops = self._frontier_operands(
+            step, emb, stores, origins
+        )
+        for is_intersect, d in ops[:-1]:
+            cands, offsets = self._frontier_fold(
+                emb, cands, offsets, is_intersect, d
+            )
+        if ops:
+            is_intersect, d = ops[-1]
+            other, other_offsets = self._gather_adjacency(emb[:, d])
+            if is_intersect:
+                c.set_intersections += len(emb)
+            else:
+                c.set_differences += len(emb)
+            c.setop_iterations += int(offsets[-1]) + int(
+                other_offsets[-1]
+            )
+            exclude_mask = (
+                None
+                if step.covers_all_ancestors
+                else self._frontier_member_mask(emb, cands, offsets)
+            )
+            raw, below = kernels.segmented_pair_count_below(
+                cands,
+                offsets,
+                other,
+                other_offsets,
+                keyspace=self._frontier_keyspace,
+                intersect=is_intersect,
+                bounds=bounds,
+                exclude_mask=exclude_mask,
+            )
+            c.candidates_checked += int(raw.sum())
+            return int(below.sum())
+        # Pure memo reuse: no ops left, count the stored list under the
+        # bound/injectivity masks (the recursive epilogue, batched).
+        c.candidates_checked += len(cands)
+        mask = np.ones(len(cands), dtype=bool)
+        if bounds is not None:
+            mask &= cands < np.repeat(bounds, np.diff(offsets))
+        if not step.covers_all_ancestors:
+            mask &= ~self._frontier_member_mask(emb, cands, offsets)
+        return int(np.count_nonzero(mask))
+
+    def _gather_adjacency(self, vertices: np.ndarray):
+        """Batched :meth:`_load_adjacency`: one gather for a whole
+        frontier column, charged per row."""
+        concat, offsets = self._work_graph.gather_neighbors(vertices)
+        self.counters.adjacency_loads += len(vertices)
+        self.counters.adjacency_bytes += 4 * int(offsets[-1])
+        return concat, offsets
 
     # ------------------------------------------------------------------
     # Candidate generation

@@ -40,13 +40,22 @@ __all__ = [
     "difference_count",
     "difference_count_below",
     "difference_values",
+    "gather_segments",
     "get_strategy",
     "intersect_count",
     "intersect_count_below",
     "intersect_multi",
     "intersect_values",
     "members_mask",
+    "segment_ids",
+    "segment_sums",
+    "segmented_difference",
+    "segmented_difference_count",
+    "segmented_intersect",
     "segmented_intersect_count",
+    "segmented_pair_count_below",
+    "segmented_pair_difference",
+    "segmented_pair_intersect",
     "set_strategy",
     "strategy",
 ]
@@ -235,6 +244,62 @@ def difference_count_below(
     return raw, below
 
 
+def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sums of a flat (typically boolean) element array.
+
+    One cumulative sum serves every segment at once — the reduction
+    primitive all segmented kernels share.
+    """
+    csum = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    return csum[offsets[1:]] - csum[offsets[:-1]]
+
+
+def segment_ids(offsets: np.ndarray) -> np.ndarray:
+    """Segment index of every element of a segmented array."""
+    lengths = np.diff(offsets)
+    return np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+
+
+def gather_segments(
+    concat: np.ndarray, offsets: np.ndarray, take: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Re-gather segments ``take[i]`` of a segmented array, in order.
+
+    The segmented analogue of fancy indexing: builds a new segmented
+    array whose ``i``-th segment is segment ``take[i]`` of the input
+    (segments may repeat — the frontier engine uses this to fan a
+    memoized ancestor frontier out over all of its descendants).
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    take = np.asarray(take, dtype=np.int64)
+    starts = offsets[take]
+    lengths = offsets[take + 1] - starts
+    out_offsets = np.zeros(len(take) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=out_offsets[1:])
+    total = int(out_offsets[-1])
+    if total == 0:
+        return concat[:0], out_offsets
+    positions = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(out_offsets[:-1], lengths)
+        + np.repeat(starts, lengths)
+    )
+    return concat[positions], out_offsets
+
+
+def _per_element_bounds(bounds, offsets: np.ndarray):
+    """Expand per-segment bounds to one comparand per element.
+
+    A scalar bound broadcasts as-is; an array of one bound per segment
+    is repeated across each segment's elements.  Both the counting and
+    the materializing segmented kernels compare through this single
+    helper, so the scalar and vector cases share one code path.
+    """
+    if np.ndim(bounds) == 0:
+        return bounds
+    return np.repeat(np.asarray(bounds), np.diff(offsets))
+
+
 def segmented_intersect_count(
     base: np.ndarray,
     concat: np.ndarray,
@@ -260,20 +325,200 @@ def segmented_intersect_count(
         zeros = np.zeros(nseg, dtype=np.int64)
         return zeros, zeros.copy()
     hit = _probe_mask(concat, base)
-    csum = np.concatenate(([0], np.cumsum(hit, dtype=np.int64)))
-    raw = csum[offsets[1:]] - csum[offsets[:-1]]
+    raw = segment_sums(hit, offsets)
     if bounds is None:
         return raw, raw.copy()
-    if np.ndim(bounds) == 0:
-        below_mask = hit & (concat < bounds)
+    below_mask = hit & (concat < _per_element_bounds(bounds, offsets))
+    return raw, segment_sums(below_mask, offsets)
+
+
+def segmented_difference_count(
+    base: np.ndarray,
+    concat: np.ndarray,
+    offsets: np.ndarray,
+    bounds=None,
+    *,
+    swap: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment difference counts against one fixed sorted ``base``.
+
+    ``swap=False`` counts ``seg \\ base`` per segment; ``swap=True``
+    counts ``base \\ seg`` (fixed minuend, varying subtrahend — the
+    difference-only leaf shape).  Either way a single membership probe
+    of ``concat`` against ``base`` settles both directions, because
+    ``|x \\ y| = |x| - |x ∩ y|``; bounded counts subtract the bounded
+    intersection from the bounded minuend the same way.  ``bounds`` as
+    in :func:`segmented_intersect_count`.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    nseg = len(offsets) - 1
+    lengths = offsets[1:] - offsets[:-1]
+    if swap and len(base) == 0:
+        zeros = np.zeros(nseg, dtype=np.int64)
+        return zeros, zeros.copy()
+    hit = (
+        _probe_mask(concat, base)
+        if len(concat) and len(base)
+        else np.zeros(len(concat), dtype=bool)
+    )
+    inter_raw = segment_sums(hit, offsets)
+    if bounds is None:
+        inter_below = inter_raw
     else:
-        per_element = np.repeat(
-            np.asarray(bounds), np.diff(offsets)
+        below_mask = hit & (concat < _per_element_bounds(bounds, offsets))
+        inter_below = segment_sums(below_mask, offsets)
+    if swap:
+        raw = len(base) - inter_raw
+        if bounds is None:
+            minuend_below = np.full(nseg, len(base), dtype=np.int64)
+        else:
+            minuend_below = base.searchsorted(bounds).astype(np.int64)
+            if minuend_below.ndim == 0:
+                minuend_below = np.full(
+                    nseg, int(minuend_below), dtype=np.int64
+                )
+        return raw, minuend_below - inter_below
+    raw = lengths - inter_raw
+    if bounds is None:
+        return raw, raw.copy()
+    elem_below = segment_sums(
+        concat < _per_element_bounds(bounds, offsets), offsets
+    )
+    return raw, elem_below - inter_below
+
+
+def segmented_intersect(
+    base: np.ndarray, concat: np.ndarray, offsets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialize ``seg ∩ base`` for every segment.
+
+    Returns ``(values, out_offsets)`` in the same segmented layout as
+    the input: segment ``i`` of the result is
+    ``values[out_offsets[i]:out_offsets[i+1]]``, sorted.  One membership
+    probe + one boolean compress for the whole frontier.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if len(concat) == 0 or len(base) == 0:
+        return concat[:0], np.zeros(len(offsets), dtype=np.int64)
+    hit = _probe_mask(concat, base)
+    csum = np.concatenate(([0], np.cumsum(hit, dtype=np.int64)))
+    return concat[hit], csum[offsets]
+
+
+def segmented_difference(
+    base: np.ndarray, concat: np.ndarray, offsets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialize ``seg \\ base`` for every segment (layout as above)."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if len(concat) == 0:
+        return concat[:0], np.zeros(len(offsets), dtype=np.int64)
+    if len(base) == 0:
+        return concat.copy(), offsets.copy()
+    keep = ~_probe_mask(concat, base)
+    csum = np.concatenate(([0], np.cumsum(keep, dtype=np.int64)))
+    return concat[keep], csum[offsets]
+
+
+def _pair_hit(
+    a_concat: np.ndarray,
+    a_offsets: np.ndarray,
+    b_concat: np.ndarray,
+    b_offsets: np.ndarray,
+    keyspace: int,
+) -> np.ndarray:
+    """Membership of each ``a`` element in its row's ``b`` segment.
+
+    Both operands are segmented arrays with the same segment count; the
+    rows are made disjoint by keying every element with
+    ``row * keyspace + value`` (``keyspace`` strictly exceeds every
+    value, e.g. ``num_vertices``), which keeps the concatenation
+    globally sorted, so one probe answers every row at once.
+    """
+    a_keys = segment_ids(a_offsets) * np.int64(keyspace) + a_concat
+    b_keys = segment_ids(b_offsets) * np.int64(keyspace) + b_concat
+    return _probe_mask(a_keys, b_keys)
+
+
+def segmented_pair_intersect(
+    a_concat: np.ndarray,
+    a_offsets: np.ndarray,
+    b_concat: np.ndarray,
+    b_offsets: np.ndarray,
+    keyspace: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise ``a_i ∩ b_i`` of two segmented arrays (both varying).
+
+    The level-expansion kernel: unlike :func:`segmented_intersect`, both
+    operands differ per row.  Returns ``(values, out_offsets)``.
+    """
+    a_offsets = np.asarray(a_offsets, dtype=np.int64)
+    if len(a_concat) == 0 or len(b_concat) == 0:
+        return a_concat[:0], np.zeros(len(a_offsets), dtype=np.int64)
+    hit = _pair_hit(a_concat, a_offsets, b_concat, b_offsets, keyspace)
+    csum = np.concatenate(([0], np.cumsum(hit, dtype=np.int64)))
+    return a_concat[hit], csum[a_offsets]
+
+
+def segmented_pair_difference(
+    a_concat: np.ndarray,
+    a_offsets: np.ndarray,
+    b_concat: np.ndarray,
+    b_offsets: np.ndarray,
+    keyspace: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise ``a_i \\ b_i`` of two segmented arrays."""
+    a_offsets = np.asarray(a_offsets, dtype=np.int64)
+    if len(a_concat) == 0:
+        return a_concat[:0], np.zeros(len(a_offsets), dtype=np.int64)
+    if len(b_concat) == 0:
+        return a_concat.copy(), a_offsets.copy()
+    keep = ~_pair_hit(a_concat, a_offsets, b_concat, b_offsets, keyspace)
+    csum = np.concatenate(([0], np.cumsum(keep, dtype=np.int64)))
+    return a_concat[keep], csum[a_offsets]
+
+
+def segmented_pair_count_below(
+    a_concat: np.ndarray,
+    a_offsets: np.ndarray,
+    b_concat: np.ndarray,
+    b_offsets: np.ndarray,
+    *,
+    keyspace: int,
+    intersect: bool = True,
+    bounds=None,
+    exclude_mask: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise multi-way count: set op + bound + exclusion in one pass.
+
+    Per row ``i`` this computes ``(|r_i|, |{v ∈ r_i : v < bound_i,
+    not excluded}|)`` where ``r_i`` is ``a_i ∩ b_i`` (``intersect=True``)
+    or ``a_i \\ b_i`` — the count-only leaf of the frontier engine, with
+    the symmetry bound and the injectivity exclusions folded into the
+    same masked reduction instead of a second pass.  ``bounds`` is
+    ``None``/scalar/per-row as in :func:`segmented_intersect_count`;
+    ``exclude_mask`` is a per-element boolean over ``a_concat`` marking
+    values that must not count toward the bounded total (the caller
+    marks its row's embedding vertices).
+    """
+    a_offsets = np.asarray(a_offsets, dtype=np.int64)
+    nseg = len(a_offsets) - 1
+    if len(a_concat) == 0:
+        zeros = np.zeros(nseg, dtype=np.int64)
+        return zeros, zeros.copy()
+    if len(b_concat) == 0:
+        hit = np.zeros(len(a_concat), dtype=bool)
+    else:
+        hit = _pair_hit(a_concat, a_offsets, b_concat, b_offsets, keyspace)
+    result = hit if intersect else ~hit
+    raw = segment_sums(result, a_offsets)
+    below_mask = result
+    if bounds is not None:
+        below_mask = below_mask & (
+            a_concat < _per_element_bounds(bounds, a_offsets)
         )
-        below_mask = hit & (concat < per_element)
-    bsum = np.concatenate(([0], np.cumsum(below_mask, dtype=np.int64)))
-    below = bsum[offsets[1:]] - bsum[offsets[:-1]]
-    return raw, below
+    if exclude_mask is not None:
+        below_mask = below_mask & ~exclude_mask
+    return raw, segment_sums(below_mask, a_offsets)
 
 
 def intersect_count(a: np.ndarray, b: np.ndarray) -> int:

@@ -191,6 +191,20 @@ def publish_worker_metrics(
                 f"engine.parallel.worker_{key}", worker=worker_id
             ).set(summary[key])
     metrics.absorb(counters.as_dict(), prefix="engine.")
+    frontier = [
+        s["frontier"] for _w, s in summaries if s.get("frontier")
+    ]
+    if frontier:
+        metrics.absorb(
+            {
+                "rows_expanded": sum(
+                    f["rows_expanded"] for f in frontier
+                ),
+                "peak_width": max(f["peak_width"] for f in frontier),
+                "fallbacks": sum(f["fallbacks"] for f in frontier),
+            },
+            prefix="engine.frontier.",
+        )
 
 
 def _build_worker_graph(
@@ -239,6 +253,9 @@ def _worker_summary(
         "tasks_done": tasks_done,
         "chunks_done": chunks_done,
         "spans": rec.spans if profile else None,
+        "frontier": (
+            engine.frontier_stats() if engine.batch_frontier else None
+        ),
     }
     return summary
 
@@ -262,7 +279,7 @@ class ParallelMiner:
         configuration whose merged counters are bit-identical to a
         serial run.  Chunking never changes *counts*.  Single-pattern
         plans only.
-    use_frontier_memo / count_leaves / batch_leaves:
+    use_frontier_memo / count_leaves / batch_leaves / batch_frontier:
         Forwarded to every worker's engine.
     tracer / metrics:
         Parent-side observability; workers run untraced and their
@@ -285,6 +302,7 @@ class ParallelMiner:
         use_frontier_memo: bool = True,
         count_leaves: bool = True,
         batch_leaves: bool = True,
+        batch_frontier: bool = False,
         tracer=None,
         metrics=None,
         profiler=None,
@@ -306,6 +324,7 @@ class ParallelMiner:
             "use_frontier_memo": use_frontier_memo,
             "count_leaves": count_leaves,
             "batch_leaves": batch_leaves,
+            "batch_frontier": batch_frontier,
         }
         self._multi = isinstance(plan, MultiPlan)
         oriented = (not self._multi) and plan.oriented
@@ -428,6 +447,7 @@ def mine_parallel(
     workers: Optional[int] = None,
     split_degree: Optional[int] = None,
     roots: Optional[Sequence[int]] = None,
+    batch_frontier: bool = False,
     tracer=None,
     metrics=None,
     profiler=None,
@@ -438,6 +458,7 @@ def mine_parallel(
         plan,
         workers=workers,
         split_degree=split_degree,
+        batch_frontier=batch_frontier,
         tracer=tracer,
         metrics=metrics,
         profiler=profiler,

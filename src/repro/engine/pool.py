@@ -267,7 +267,7 @@ class MinerPool:
     workers:
         Worker process count (default ``os.cpu_count()``).  ``1`` runs
         every request in-process — no fork, exact serial parity.
-    use_frontier_memo / count_leaves / batch_leaves:
+    use_frontier_memo / count_leaves / batch_leaves / batch_frontier:
         Forwarded to every worker engine, for every request.
     oriented_graph:
         Optional pre-computed degree-oriented DAG; computed lazily on
@@ -291,6 +291,7 @@ class MinerPool:
         use_frontier_memo: bool = True,
         count_leaves: bool = True,
         batch_leaves: bool = True,
+        batch_frontier: bool = False,
         oriented_graph=None,
         tracer=None,
         metrics=None,
@@ -314,6 +315,7 @@ class MinerPool:
             "use_frontier_memo": use_frontier_memo,
             "count_leaves": count_leaves,
             "batch_leaves": batch_leaves,
+            "batch_frontier": batch_frontier,
         }
         self._topology = (
             graph.graph if isinstance(graph, LabeledGraph) else graph

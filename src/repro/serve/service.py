@@ -339,7 +339,7 @@ class MiningService:
         Per-request bound on waiting for pool workers; a wedged worker
         surfaces as :class:`~repro.engine.pool.PoolWorkerError`
         (``reason="timeout"``) instead of a hang.
-    use_frontier_memo / count_leaves / batch_leaves:
+    use_frontier_memo / count_leaves / batch_leaves / batch_frontier:
         Engine options for every pool (the config fingerprint).
     metrics:
         A :class:`~repro.obs.MetricsRegistry`; defaults to a private
@@ -360,6 +360,7 @@ class MiningService:
         use_frontier_memo: bool = True,
         count_leaves: bool = True,
         batch_leaves: bool = True,
+        batch_frontier: bool = False,
         metrics=None,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
@@ -374,6 +375,7 @@ class MiningService:
             "use_frontier_memo": use_frontier_memo,
             "count_leaves": count_leaves,
             "batch_leaves": batch_leaves,
+            "batch_frontier": batch_frontier,
         }
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock if clock is not None else time.perf_counter

@@ -1,8 +1,9 @@
 """Differential runner: one case, every backend, structured mismatches.
 
-The repository produces a pattern count six independent ways — serial
+The repository produces a pattern count seven independent ways — serial
 :class:`~repro.engine.explore.PatternAwareEngine` (count-only leaves on
-or off, probe kernels forced on), the frozen pre-kernel
+or off, probe kernels forced on, and the level-synchronous
+``batch_frontier`` mode), the frozen pre-kernel
 :class:`~repro.bench.enginebench.LegacyEngine`, the multi-process
 :class:`~repro.engine.parallel.ParallelMiner`, the persistent
 :class:`~repro.engine.pool.MinerPool` (each plan mined twice through
@@ -227,6 +228,18 @@ def _no_memo(case: VerifyCase, plan):
     return result.counts, result.counters
 
 
+def _frontier_batch(case: VerifyCase, plan):
+    """Level-synchronous frontier expansion (``batch_frontier=True``).
+
+    The vectorized engine charges OpCounters in closed form per batch,
+    so both counts and counters must stay bit-identical to ``serial``.
+    """
+    from ..engine import PatternAwareEngine
+
+    result = PatternAwareEngine(case.graph, plan, batch_frontier=True).run()
+    return result.counts, result.counters
+
+
 def _parallel(workers: int) -> Backend:
     def run(case: VerifyCase, plan):
         from ..engine import ParallelMiner
@@ -237,19 +250,23 @@ def _parallel(workers: int) -> Backend:
     return run
 
 
-def _pool(workers: int) -> Backend:
+def _pool(workers: int, *, batch_frontier: bool = False) -> Backend:
     """The persistent pool, exercised as a request *stream*.
 
     Mines the same plan twice through one resident pool and insists the
     repeat answer is bit-identical to the first (a stale per-request
     reset inside a resident worker would show up only on the second
-    request) before the usual oracle/zero-drift comparisons.
+    request) before the usual oracle/zero-drift comparisons.  With
+    ``batch_frontier=True`` the resident workers run the
+    level-synchronous frontier mode instead of the recursive path.
     """
 
     def run(case: VerifyCase, plan):
         from ..engine import MinerPool
 
-        with MinerPool(case.graph, workers=workers) as pool:
+        with MinerPool(
+            case.graph, workers=workers, batch_frontier=batch_frontier
+        ) as pool:
             first = pool.mine(plan)
             second = pool.mine(plan)
         if (
@@ -363,11 +380,13 @@ BACKENDS: Dict[str, Backend] = {
     "kernel-probe": _kernel_probe,
     "legacy": _legacy,
     "no-memo": _no_memo,
+    "frontier-batch": _frontier_batch,
     "parallel-1": _parallel(1),
     "parallel-2": _parallel(2),
     "parallel-4": _parallel(4),
     "pool-2": _pool(2),
     "pool-4": _pool(4),
+    "pool-2-batch": _pool(2, batch_frontier=True),
     "serve-pool-2": _serve(2, cached=False),
     "serve-cached": _serve(1, cached=True),
     "sim": _sim,
@@ -387,11 +406,13 @@ ZERO_DRIFT_BACKENDS: Tuple[str, ...] = (
     "materialize",
     "kernel-probe",
     "legacy",
+    "frontier-batch",
     "parallel-1",
     "parallel-2",
     "parallel-4",
     "pool-2",
     "pool-4",
+    "pool-2-batch",
     "serve-pool-2",
     "serve-cached",
 )

@@ -244,6 +244,104 @@ class TestProcessConstruction:
         assert codes(src, path=ENGINE) == []
 
 
+class TestElementwiseLoops:
+    KERNELS = "src/repro/engine/kernels.py"
+
+    def test_for_over_ndarray_param_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(a: np.ndarray) -> int:
+            total = 0
+            for x in a:
+                total += int(x)
+            return total
+        """
+        assert codes(src, path=self.KERNELS) == ["FM208"]
+
+    def test_range_len_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(a: np.ndarray) -> int:
+            total = 0
+            for i in range(len(a)):
+                total += int(a[i])
+            return total
+        """
+        assert codes(src, path=self.KERNELS) == ["FM208"]
+
+    def test_slice_and_enumerate_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(a: np.ndarray):
+            for x in a[1:]:
+                yield x
+            for i, x in enumerate(a):
+                yield i, x
+        """
+        assert codes(src, path=self.KERNELS) == ["FM208", "FM208"]
+
+    def test_comprehension_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(a: np.ndarray):
+            return [int(x) for x in a]
+        """
+        assert codes(src, path=self.KERNELS) == ["FM208"]
+
+    def test_loop_over_sequence_of_arrays_passes(self):
+        # intersect_multi's loop over a *list of arrays* is per-array,
+        # not per-element; only plain ndarray annotations are policed.
+        src = """
+        import numpy as np
+        from typing import Sequence
+
+        def f(arrays: Sequence[np.ndarray]):
+            out = arrays[0]
+            for other in arrays[1:]:
+                out = out & other
+            return out
+        """
+        assert codes(src, path=self.KERNELS) == []
+
+    def test_vectorized_body_passes(self):
+        src = """
+        import numpy as np
+
+        def f(a: np.ndarray, b: np.ndarray) -> int:
+            return int((a[:, None] == b).sum())
+        """
+        assert codes(src, path=self.KERNELS) == []
+
+    def test_rule_scoped_to_kernels(self):
+        src = """
+        import numpy as np
+
+        def f(a: np.ndarray) -> int:
+            total = 0
+            for x in a:
+                total += int(x)
+            return total
+        """
+        assert codes(src, path=ENGINE) == []
+        assert codes(src, path=OTHER) == []
+
+    def test_documented_scalar_fallback_disable(self):
+        src = """
+        import numpy as np
+
+        def f(a: np.ndarray) -> int:
+            total = 0
+            for x in a:  # fmlint: disable=FM208
+                total += int(x)
+            return total
+        """
+        assert codes(src, path=self.KERNELS) == []
+
+
 class TestSuppression:
     def test_line_disable_specific_code(self):
         src = "for x in {1, 2}:  # fmlint: disable=FM201\n    print(x)\n"

@@ -111,6 +111,19 @@ class TestRunAppDispatch:
         with pytest.raises(ConfigError):
             run_app(GRAPH, "SL")
 
+    def test_batch_frontier_bit_identical(self):
+        base = clique_count(GRAPH, 4)
+        got = clique_count(GRAPH, 4, batch_frontier=True)
+        assert got.counts == base.counts
+        assert got.counters.as_dict() == base.counters.as_dict()
+
+    def test_batch_frontier_requires_engine_backend(self):
+        with pytest.raises(ConfigError):
+            triangle_count(
+                GRAPH, backend="sim", config=SIM_CONFIG,
+                batch_frontier=True,
+            )
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):
             triangle_count(GRAPH, backend="gpu")

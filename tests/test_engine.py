@@ -233,6 +233,86 @@ class TestBatchLeaves:
         assert got.counts[0] == comb(9, 4)
 
 
+class TestBatchFrontier:
+    """Level-synchronous frontier mode is a pure value/counter drop-in."""
+
+    PATTERNS = [
+        triangle(),
+        wedge(),
+        k_clique(4),
+        k_clique(5),
+        four_cycle(),
+        diamond(),
+        tailed_triangle(),
+    ]
+
+    @pytest.mark.parametrize(
+        "pattern", PATTERNS, ids=lambda p: p.name
+    )
+    @pytest.mark.parametrize("memo", [True, False], ids=["memo", "nomemo"])
+    @pytest.mark.parametrize(
+        "induced", [False, True], ids=["edge", "induced"]
+    )
+    def test_counts_and_counters_bit_identical(
+        self, pattern, memo, induced
+    ):
+        plan = compile_pattern(pattern, induced=induced)
+        frontier = PatternAwareEngine(
+            RANDOM, plan, use_frontier_memo=memo, batch_frontier=True
+        ).run()
+        recursive = PatternAwareEngine(
+            RANDOM, plan, use_frontier_memo=memo
+        ).run()
+        assert frontier.counts == recursive.counts
+        assert frontier.counters == recursive.counters
+
+    def test_collect_order_identical(self):
+        plan = compile_pattern(triangle())
+        frontier = PatternAwareEngine(
+            RANDOM, plan, collect=True, batch_frontier=True
+        ).run()
+        recursive = PatternAwareEngine(RANDOM, plan, collect=True).run()
+        assert frontier.embeddings == recursive.embeddings
+
+    def test_row_limit_fallback_bit_identical(self):
+        # A row limit below any real frontier width forces the
+        # recursion fallback, which must stay charge-identical (the
+        # budget check is pure index arithmetic, so no double charges).
+        plan = compile_pattern(k_clique(4))
+        engine = PatternAwareEngine(
+            RANDOM, plan, batch_frontier=True, frontier_row_limit=4
+        )
+        got = engine.run()
+        assert engine.frontier_stats()["fallbacks"] > 0
+        ref = PatternAwareEngine(RANDOM, plan).run()
+        assert got.counts == ref.counts
+        assert got.counters == ref.counters
+
+    def test_frontier_gauges_published(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = compile_pattern(k_clique(4))
+        PatternAwareEngine(
+            RANDOM, plan, batch_frontier=True, metrics=registry
+        ).run()
+        snap = registry.snapshot()
+        assert snap["engine.frontier.rows_expanded"] > 0
+        assert snap["engine.frontier.peak_width"] > 0
+        assert snap["engine.frontier.fallbacks"] == 0
+
+    def test_multi_pattern_falls_back_to_recursion(self):
+        # MultiPlan mining keeps the node-walk path; batch_frontier is
+        # accepted but must not change anything.
+        plan = compile_motifs(3)
+        frontier = PatternAwareEngine(
+            RANDOM, plan, batch_frontier=True
+        ).run()
+        recursive = PatternAwareEngine(RANDOM, plan).run()
+        assert frontier.counts == recursive.counts
+        assert frontier.counters == recursive.counters
+
+
 class TestCMapSoftwareEngine:
     def test_counts_match_base_engine(self):
         for pattern in (four_cycle(), diamond(), tailed_triangle()):

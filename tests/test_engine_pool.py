@@ -84,6 +84,16 @@ class TestStreamParity:
         assert got.counts == base.counts
         assert got.counters == base.counters
 
+    def test_batch_frontier_stream_bit_identical(self):
+        plan = compile_pattern(k_clique(4))
+        base = serial(PL, plan)
+        with MinerPool(PL, workers=2, batch_frontier=True) as pool:
+            first = pool.mine(plan)
+            second = pool.mine(plan)
+        for got in (first, second):
+            assert got.counts == base.counts
+            assert got.counters == base.counters
+
     def test_multi_pattern_request(self):
         plan = compile_motifs(3)
         base = mine_multi(ER, plan)

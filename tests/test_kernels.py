@@ -308,6 +308,150 @@ def test_property_segmented_intersect(segments, base, scalar_bound):
     np.testing.assert_array_equal(got[1], want[1])
 
 
+# ----------------------------------------------------------------------
+# Materializing segmented kernels vs per-segment value kernels
+# ----------------------------------------------------------------------
+def _segments_of(concat, offsets):
+    return [
+        concat[offsets[i]:offsets[i + 1]]
+        for i in range(len(offsets) - 1)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    segments=st.lists(
+        st.lists(st.integers(min_value=0, max_value=60), max_size=12),
+        max_size=8,
+    ),
+    base=st.sets(st.integers(min_value=0, max_value=60), max_size=20),
+)
+def test_property_segmented_materialize_fixed_base(segments, base):
+    """segmented_intersect/difference == per-segment value kernels."""
+    base = arr(base)
+    concat, offsets = seg_case(segments)
+    for seg_kernel, ref in (
+        (kernels.segmented_intersect, intersect_values),
+        (kernels.segmented_difference, difference_values),
+    ):
+        got_concat, got_offsets = seg_kernel(base, concat, offsets)
+        assert len(got_offsets) == len(offsets)
+        assert got_offsets[-1] == len(got_concat)
+        want = [ref(seg, base) for seg in _segments_of(concat, offsets)]
+        for got, ref_seg in zip(
+            _segments_of(got_concat, got_offsets), want
+        ):
+            np.testing.assert_array_equal(got, ref_seg)
+
+
+pair_segments = st.lists(
+    st.tuples(
+        st.lists(st.integers(min_value=0, max_value=60), max_size=12),
+        st.lists(st.integers(min_value=0, max_value=60), max_size=12),
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pairs=pair_segments)
+def test_property_segmented_pair_kernels(pairs):
+    """Row-wise pair kernels == per-segment value kernels."""
+    a_concat, a_offsets = seg_case([p[0] for p in pairs])
+    b_concat, b_offsets = seg_case([p[1] for p in pairs])
+    a_segs = _segments_of(a_concat, a_offsets)
+    b_segs = _segments_of(b_concat, b_offsets)
+    for pair_kernel, ref in (
+        (kernels.segmented_pair_intersect, intersect_values),
+        (kernels.segmented_pair_difference, difference_values),
+    ):
+        got_concat, got_offsets = pair_kernel(
+            a_concat, a_offsets, b_concat, b_offsets, 61
+        )
+        assert len(got_offsets) == len(a_offsets)
+        for got, a_seg, b_seg in zip(
+            _segments_of(got_concat, got_offsets), a_segs, b_segs
+        ):
+            np.testing.assert_array_equal(got, ref(a_seg, b_seg))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pairs=pair_segments,
+    scalar_bound=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=70)
+    ),
+    exclude=st.booleans(),
+)
+def test_property_segmented_pair_count_below(
+    pairs, scalar_bound, exclude
+):
+    """The folded count == count the materialized result by hand."""
+    a_concat, a_offsets = seg_case([p[0] for p in pairs])
+    b_concat, b_offsets = seg_case([p[1] for p in pairs])
+    # Exclude every third element of a_concat (an arbitrary but
+    # reproducible stand-in for the engine's injectivity mask).
+    exclude_mask = (
+        (np.arange(len(a_concat)) % 3 == 0) if exclude else None
+    )
+    for intersect in (True, False):
+        raw, below = kernels.segmented_pair_count_below(
+            a_concat,
+            a_offsets,
+            b_concat,
+            b_offsets,
+            keyspace=61,
+            intersect=intersect,
+            bounds=scalar_bound,
+            exclude_mask=exclude_mask,
+        )
+        mat_concat, mat_offsets = (
+            kernels.segmented_pair_intersect
+            if intersect
+            else kernels.segmented_pair_difference
+        )(a_concat, a_offsets, b_concat, b_offsets, 61)
+        np.testing.assert_array_equal(raw, np.diff(mat_offsets))
+        for i in range(len(a_offsets) - 1):
+            seg = a_concat[a_offsets[i]:a_offsets[i + 1]]
+            keep = np.ones(len(seg), dtype=bool)
+            if exclude_mask is not None:
+                keep &= ~exclude_mask[a_offsets[i]:a_offsets[i + 1]]
+            if scalar_bound is not None:
+                keep &= seg < scalar_bound
+            mat = mat_concat[mat_offsets[i]:mat_offsets[i + 1]]
+            want = np.count_nonzero(keep & np.isin(seg, mat))
+            assert below[i] == want
+
+
+def test_gather_segments_round_trip():
+    concat, offsets = seg_case([[1, 2], [5], [], [7, 9, 11]])
+    take = np.array([3, 0, 0, 2, 1], dtype=np.int64)
+    got_concat, got_offsets = kernels.gather_segments(
+        concat, offsets, take
+    )
+    want = [[7, 9, 11], [1, 2], [1, 2], [], [5]]
+    assert [
+        got_concat[got_offsets[i]:got_offsets[i + 1]].tolist()
+        for i in range(len(take))
+    ] == want
+    empty_concat, empty_offsets = kernels.gather_segments(
+        concat, offsets, np.array([2, 2], dtype=np.int64)
+    )
+    assert len(empty_concat) == 0
+    assert empty_offsets.tolist() == [0, 0, 0]
+
+
+def test_segment_helpers():
+    offsets = np.array([0, 2, 2, 5], dtype=np.int64)
+    np.testing.assert_array_equal(
+        kernels.segment_ids(offsets), [0, 0, 2, 2, 2]
+    )
+    values = np.array([1, 0, 1, 1, 0])
+    np.testing.assert_array_equal(
+        kernels.segment_sums(values, offsets), [1, 0, 2]
+    )
+
+
 def test_gather_neighbors_matches_per_vertex_views():
     from repro.graph import power_law_cluster
 

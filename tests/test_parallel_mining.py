@@ -158,6 +158,16 @@ class TestParity:
         assert got.counts == base.counts
         assert got.counters.tasks > base.counters.tasks
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_batch_frontier_counts_and_counters(self, workers):
+        plan = compile_pattern(k_clique(4))
+        base = serial(PL, plan)
+        got = ParallelMiner(
+            PL, plan, workers=workers, batch_frontier=True
+        ).mine()
+        assert got.counts == base.counts
+        assert got.counters.as_dict() == base.counters.as_dict()
+
     def test_multi_pattern(self):
         plan = compile_motifs(3)
         base = mine_multi(ER, plan)
@@ -230,6 +240,16 @@ class TestObservability:
         )
         assert done == snap["engine.parallel.queue_depth"]
         assert snap["engine.matches"] == serial(PL, plan).counts[0]
+
+    def test_frontier_gauges_aggregated(self):
+        registry = MetricsRegistry()
+        plan = compile_pattern(triangle())
+        ParallelMiner(
+            ER, plan, workers=2, batch_frontier=True, metrics=registry
+        ).mine()
+        snap = registry.snapshot()
+        assert snap["engine.frontier.rows_expanded"] > 0
+        assert snap["engine.frontier.peak_width"] > 0
 
     def test_tracer_span(self):
         from repro.obs import Tracer

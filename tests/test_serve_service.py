@@ -69,6 +69,14 @@ class TestZeroDrift:
         assert got.counts == base.counts
         assert got.counters.as_dict() == base.counters.as_dict()
 
+    def test_batch_frontier_service_bit_identical(self):
+        with MiningService(workers=1, batch_frontier=True) as svc:
+            svc.register_graph("er", ER)
+            base = serial(ER, compile_pattern(k_clique(4)))
+            got = svc.mine("er", pattern=k_clique(4))
+            assert got.counts == base.counts
+            assert got.counters.as_dict() == base.counters.as_dict()
+
     def test_cached_counters_are_private_copies(self, service):
         first = service.mine("er", app="TC")
         first.counters.matches = -1  # mutate the returned copy

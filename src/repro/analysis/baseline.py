@@ -1,0 +1,151 @@
+"""Finding baselines: ratchet the lint gate without fixing everything.
+
+A baseline file records the findings a tree is *known* to have, so the
+lint gate can fail on anything new while tolerating the recorded debt.
+The workflow mirrors mypy/ruff baselines:
+
+* ``flexminer lint --update-baseline`` writes the current findings to
+  ``analysis-baseline.json``;
+* ``flexminer lint --baseline analysis-baseline.json`` subtracts the
+  recorded findings from the report — only *new* findings gate;
+* a baseline entry that no longer matches anything is **stale** and
+  itself fails the gate (code :data:`FM299`): suppressions must be
+  deleted the moment the debt is paid, or they mask regressions that
+  happen to produce the same fingerprint later.
+
+Fingerprints are ``(path, code, message)`` — deliberately excluding the
+line number, so unrelated edits that shift a finding up or down the file
+do not churn the baseline.  Two identical findings in one file collapse
+to one fingerprint with a count; the baseline only absorbs as many
+duplicates as it recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .diagnostics import AnalysisReport, Diagnostic, register_code
+
+__all__ = [
+    "Baseline",
+    "FM299",
+    "apply_baseline",
+    "baseline_from_report",
+    "fingerprint",
+    "load_baseline",
+    "save_baseline",
+]
+
+FM299 = register_code(
+    "FM299",
+    "stale baseline entry",
+    "error",
+    "the suppressed finding no longer occurs; remove the entry from the "
+    "baseline file (or regenerate it with --update-baseline)",
+)
+
+#: (path, code, message) — line numbers deliberately excluded.
+Fingerprint = Tuple[str, str, str]
+
+_VERSION = 1
+
+
+def _split_location(location: str) -> str:
+    """Path part of a ``path:line`` lint location (line dropped)."""
+    path, sep, line = location.rpartition(":")
+    if sep and line.isdigit():
+        return path
+    return location
+
+
+def fingerprint(diag: Diagnostic) -> Fingerprint:
+    return (_split_location(diag.location), diag.code, diag.message)
+
+
+@dataclass
+class Baseline:
+    """A multiset of suppressed finding fingerprints."""
+
+    entries: Counter = field(default_factory=Counter)
+    path: str = ""
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": _VERSION,
+            "entries": [
+                {"path": p, "code": c, "message": m, "count": n}
+                for (p, c, m), n in sorted(self.entries.items())
+            ],
+        }
+
+
+def baseline_from_report(report: AnalysisReport) -> Baseline:
+    """Snapshot every finding in ``report`` as a baseline."""
+    return Baseline(entries=Counter(fingerprint(d) for d in report.findings))
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; raises ``ValueError`` on a bad payload."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: not a flexminer baseline (want version {_VERSION})"
+        )
+    entries: Counter = Counter()
+    for row in payload.get("entries", []):
+        key = (str(row["path"]), str(row["code"]), str(row["message"]))
+        entries[key] += int(row.get("count", 1))
+    return Baseline(entries=entries, path=path)
+
+
+def save_baseline(path: str, baseline: Baseline) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(baseline.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def apply_baseline(
+    report: AnalysisReport, baseline: Baseline
+) -> AnalysisReport:
+    """Subtract baselined findings; flag stale entries as :data:`FM299`.
+
+    Returns a new report whose findings are (a) every finding not
+    absorbed by the baseline, plus (b) one error per *unused* baseline
+    entry.  ``report`` itself is not mutated.
+    """
+    remaining = Counter(baseline.entries)
+    kept: List[Diagnostic] = []
+    for diag in report.findings:
+        key = fingerprint(diag)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            kept.append(diag)
+
+    filtered = AnalysisReport(subject=report.subject, findings=kept)
+    filtered.data.update(report.data)
+    filtered.data["baseline"] = {
+        "path": baseline.path,
+        "suppressed": len(baseline) - sum(remaining.values()),
+        "stale": sum(remaining.values()),
+    }
+    where = baseline.path or "baseline"
+    for (path, code, message), count in sorted(remaining.items()):
+        for _ in range(count):
+            filtered.add(
+                FM299,
+                f"baseline suppresses {code} ({message!r}) in {path}, "
+                "but the finding no longer occurs",
+                location=where,
+            )
+    return filtered

@@ -200,6 +200,7 @@ def merge_reports(
 ) -> AnalysisReport:
     """Flatten several per-subject reports into one summary report."""
     merged = AnalysisReport(subject=subject)
+    reports = list(reports)
     subjects = []
     for rep in reports:
         subjects.append(rep.subject)
@@ -215,4 +216,9 @@ def merge_reports(
                 )
             )
     merged.data["subjects"] = subjects
+    per_report = {
+        rep.subject: dict(rep.data) for rep in reports if rep.data
+    }
+    if per_report:
+        merged.data["reports"] = per_report
     return merged

@@ -1,0 +1,506 @@
+"""Intraprocedural CFG + forward fixpoint dataflow over Python ``ast``.
+
+The fmlint FM200s are single-pass AST pattern rules; they cannot answer
+path questions like "is this SharedMemory unlinked on *every* path out
+of the function, including the edge where ``close()`` raises?".  This
+module supplies the missing machinery as three small layers:
+
+1. :func:`build_cfg` — a statement-level control-flow graph for one
+   function body.  Nodes are statements plus a handful of synthetic
+   kinds (``with-enter``/``with-exit``/``with-unwind``,
+   ``except-dispatch``, ``handler-bind``, ``finally`` junctions); edges
+   are split into *normal* successors and *exception* successors so an
+   analysis can model unwinding separately.  ``try``/``finally`` bodies
+   are duplicated onto the unwind path (the classic lowering), and
+   ``return``/``break``/``continue`` route through every enclosing
+   ``finally`` before leaving.
+2. :class:`ForwardAnalysis` + :func:`run_forward` — a generic forward
+   worklist driver.  An analysis supplies an initial state, a ``join``
+   (set-union for *may*, intersection-style for *must* — the driver
+   does not care) and a ``transfer`` returning separate normal-edge and
+   exception-edge out-states.  The fixpoint is reached when no
+   in-state changes; only reachable nodes carry states.
+3. Small shared AST utilities (:func:`dotted_name`, :func:`root_name`,
+   :func:`function_defs`) used by the checkers in
+   :mod:`repro.analysis.flowcheck`.
+
+The CFG is deliberately *path-insensitive* and conservative in the
+direction the checkers need: every statement containing a call (and
+every ``assert``) gets an exception edge to the innermost handler, loop
+headers always admit a zero-iteration exit (except literal
+``while True``), and uncaught exception types fall through an
+``except-dispatch`` node to the outer handler.  Extra paths make a
+must-analysis stricter, never unsound.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+__all__ = [
+    "CFG",
+    "FlowNode",
+    "FlowResult",
+    "ForwardAnalysis",
+    "build_cfg",
+    "dotted_name",
+    "function_defs",
+    "root_name",
+    "run_forward",
+    "stmt_can_raise",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared AST utilities
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str:
+    """``'self._pool.close'`` for an attribute chain, ``''`` if dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def root_name(node: ast.AST) -> str:
+    """The base ``Name`` of an attribute/subscript chain (``''`` if none)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def stmt_can_raise(stmt: ast.AST) -> bool:
+    """Conservative per-statement raise predicate.
+
+    Calls and asserts can raise; pure name/attribute shuffling is
+    treated as non-raising so straight-line bookkeeping between a
+    resource's creation and its hand-off does not manufacture phantom
+    leak paths.  Nested function/class bodies are *definitions* at this
+    statement — their inner calls run later — so they never count.
+    """
+    if isinstance(stmt, (ast.Assert, ast.Raise)):
+        return True
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return False
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            # don't descend into deferred bodies; ast.walk already
+            # yielded them, so just skip their calls by checking depth —
+            # a Call under a Lambda still trips the loop above, which is
+            # acceptable (extra exception edges are conservative).
+            continue
+    return False
+
+
+def function_defs(
+    tree: ast.AST,
+) -> Iterator[Tuple[str, "ast.FunctionDef | ast.AsyncFunctionDef"]]:
+    """Yield ``(qualname, funcdef)`` for every function in ``tree``.
+
+    Methods are qualified ``Class.method``; nested functions are
+    qualified through their parents (``outer.<locals>.inner``).
+    """
+
+    def walk(
+        node: ast.AST, prefix: str
+    ) -> Iterator[Tuple[str, "ast.FunctionDef | ast.AsyncFunctionDef"]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = prefix + child.name
+                yield qual, child
+                yield from walk(child, qual + ".<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, prefix + child.name + ".")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")
+
+
+# ----------------------------------------------------------------------
+# CFG
+# ----------------------------------------------------------------------
+@dataclass
+class FlowNode:
+    """One CFG node.
+
+    ``kind`` is one of ``entry``, ``exit``, ``raise-exit``, ``stmt``,
+    ``branch``, ``loop-head``, ``loop-bind``, ``with-enter``,
+    ``with-exit``, ``with-unwind``, ``except-dispatch``,
+    ``handler-bind`` or ``finally-unwind``.  ``stmt`` is the originating statement for the
+    statement-ish kinds (``with-*`` nodes carry the ``With`` node).
+    ``succ`` are normal-flow successors, ``exc`` exception successors.
+    """
+
+    index: int
+    kind: str
+    stmt: Optional[ast.AST] = None
+    succ: List[int] = field(default_factory=list)
+    exc: List[int] = field(default_factory=list)
+    #: True for nodes inside exception-cleanup code (an ``except``
+    #: handler body, or the unwind copy of a ``finally`` block) —
+    #: checkers use this to bless release-after-hand-off idioms there.
+    in_cleanup: bool = False
+
+    @property
+    def line(self) -> int:
+        stmt = self.stmt
+        lineno = getattr(stmt, "lineno", None) if stmt is not None else None
+        return int(lineno) if isinstance(lineno, int) else 0
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph (see :func:`build_cfg`)."""
+
+    name: str
+    nodes: List[FlowNode]
+    entry: int
+    exit: int
+    raise_exit: int
+
+    def __iter__(self) -> Iterator[FlowNode]:
+        return iter(self.nodes)
+
+
+class _Builder:
+    """Stateful single-function CFG construction."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[FlowNode] = []
+        # > 0 while building except-handler bodies / unwind finallys
+        self.cleanup_depth = 0
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self.raise_exit = self._new("raise-exit")
+        # innermost target for an escaping exception
+        self.handlers: List[int] = [self.raise_exit]
+        # (break collector, continue target, finally depth at loop entry)
+        self.loops: List[Tuple[List[int], int, int]] = []
+        # enclosing finally bodies, outermost first
+        self.finallys: List[List[ast.stmt]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _new(self, kind: str, stmt: Optional[ast.AST] = None) -> int:
+        node = FlowNode(
+            index=len(self.nodes),
+            kind=kind,
+            stmt=stmt,
+            in_cleanup=self.cleanup_depth > 0,
+        )
+        self.nodes.append(node)
+        return node.index
+
+    def _link(self, sources: Sequence[int], target: int) -> None:
+        for src in sources:
+            if target not in self.nodes[src].succ:
+                self.nodes[src].succ.append(target)
+
+    def _exc(self, source: int, target: int) -> None:
+        if target not in self.nodes[source].exc:
+            self.nodes[source].exc.append(target)
+
+    def _simple(
+        self, stmt: ast.stmt, preds: Sequence[int], kind: str = "stmt"
+    ) -> int:
+        node = self._new(kind, stmt)
+        self._link(preds, node)
+        if stmt_can_raise(stmt):
+            self._exc(node, self.handlers[-1])
+        return node
+
+    def _run_finallys(
+        self, preds: List[int], down_to: int = 0
+    ) -> List[int]:
+        """Duplicate enclosing ``finally`` bodies (innermost first) on a
+        non-local exit path (return/break/continue)."""
+        saved = self.finallys
+        outs = preds
+        for depth in range(len(saved) - 1, down_to - 1, -1):
+            self.finallys = saved[:depth]
+            outs = self._body(saved[depth], outs)
+        self.finallys = saved
+        return outs
+
+    # -- statement dispatch --------------------------------------------
+    def _body(
+        self, stmts: Sequence[ast.stmt], preds: List[int]
+    ) -> List[int]:
+        outs = preds
+        for stmt in stmts:
+            if not outs:
+                break  # unreachable tail
+            outs = self._stmt(stmt, outs)
+        return outs
+
+    def _stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        if isinstance(stmt, ast.Return):
+            node = self._simple(stmt, preds)
+            outs = self._run_finallys([node])
+            self._link(outs, self.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._new("stmt", stmt)
+            self._link(preds, node)
+            self._exc(node, self.handlers[-1])
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._new("stmt", stmt)
+            self._link(preds, node)
+            if self.loops:
+                breaks, _, depth = self.loops[-1]
+                breaks.extend(self._run_finallys([node], depth))
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._new("stmt", stmt)
+            self._link(preds, node)
+            if self.loops:
+                _, cont, depth = self.loops[-1]
+                self._link(self._run_finallys([node], depth), cont)
+            return []
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, preds)
+        return [self._simple(stmt, preds)]
+
+    def _if(self, stmt: ast.If, preds: List[int]) -> List[int]:
+        cond = self._new("branch", stmt)
+        self._link(preds, cond)
+        if stmt_can_raise(ast.Expr(value=stmt.test)):
+            self._exc(cond, self.handlers[-1])
+        then_outs = self._body(stmt.body, [cond])
+        else_outs = self._body(stmt.orelse, [cond])
+        return then_outs + else_outs
+
+    def _match(self, stmt: ast.Match, preds: List[int]) -> List[int]:
+        head = self._new("branch", stmt)
+        self._link(preds, head)
+        if stmt_can_raise(ast.Expr(value=stmt.subject)):
+            self._exc(head, self.handlers[-1])
+        outs: List[int] = [head]  # no case may match
+        for case in stmt.cases:
+            outs.extend(self._body(case.body, [head]))
+        return outs
+
+    def _loop(
+        self, stmt: "ast.While | ast.For | ast.AsyncFor", preds: List[int]
+    ) -> List[int]:
+        head = self._new("loop-head", stmt)
+        self._link(preds, head)
+        raises = (
+            stmt_can_raise(ast.Expr(value=stmt.test))
+            if isinstance(stmt, ast.While)
+            else True  # iterator protocol can raise
+        )
+        if raises:
+            self._exc(head, self.handlers[-1])
+        # the iteration-variable binding lives on its own node so the
+        # zero-iteration exit edge (head -> after) never sees it
+        bind = self._new("loop-bind", stmt)
+        self._link([head], bind)
+        breaks: List[int] = []
+        self.loops.append((breaks, head, len(self.finallys)))
+        body_outs = self._body(stmt.body, [bind])
+        self._link(body_outs, head)
+        self.loops.pop()
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        falls_through: List[int] = [] if infinite else [head]
+        else_outs = self._body(stmt.orelse, falls_through)
+        if stmt.orelse:
+            return else_outs + breaks
+        return falls_through + breaks
+
+    def _with(
+        self, stmt: "ast.With | ast.AsyncWith", preds: List[int]
+    ) -> List[int]:
+        enter = self._new("with-enter", stmt)
+        self._link(preds, enter)
+        self._exc(enter, self.handlers[-1])  # __enter__ may raise
+        unwind = self._new("with-unwind", stmt)
+        self.handlers.append(unwind)
+        body_outs = self._body(stmt.body, [enter])
+        self.handlers.pop()
+        leave = self._new("with-exit", stmt)
+        self._link(body_outs, leave)
+        # after __exit__ ran on the unwind path the exception continues
+        self._exc(unwind, self.handlers[-1])
+        return [leave]
+
+    def _try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        outer = self.handlers[-1]
+        fin_unwind: Optional[int] = None
+        if stmt.finalbody:
+            fin_unwind = self._new("finally-unwind", stmt)
+        escape = fin_unwind if fin_unwind is not None else outer
+        dispatch: Optional[int] = None
+        if stmt.handlers:
+            dispatch = self._new("except-dispatch", stmt)
+        body_target = dispatch if dispatch is not None else escape
+        self.handlers.append(body_target)
+        if stmt.finalbody:
+            self.finallys.append(stmt.finalbody)
+        body_outs = self._body(stmt.body, preds)
+        self.handlers.pop()
+
+        handler_outs: List[int] = []
+        catches_all = False
+        for handler in stmt.handlers:
+            assert dispatch is not None
+            bind = self._new("handler-bind", handler)
+            self._link([dispatch], bind)
+            self.handlers.append(escape)
+            self.cleanup_depth += 1
+            handler_outs.extend(self._body(handler.body, [bind]))
+            self.cleanup_depth -= 1
+            self.handlers.pop()
+            if handler.type is None or dotted_name(handler.type) in (
+                "BaseException",
+            ):
+                catches_all = True
+        if dispatch is not None and not catches_all:
+            self._link([dispatch], escape)
+
+        self.handlers.append(escape)
+        else_outs = self._body(stmt.orelse, body_outs)
+        self.handlers.pop()
+
+        normal_in = else_outs + handler_outs
+        if stmt.finalbody:
+            self.finallys.pop()
+            normal_outs = self._body(stmt.finalbody, normal_in)
+            assert fin_unwind is not None
+            self.cleanup_depth += 1
+            unwind_outs = self._body(stmt.finalbody, [fin_unwind])
+            self.cleanup_depth -= 1
+            for out in unwind_outs:
+                self._exc(out, outer)
+            return normal_outs
+        return normal_in
+
+
+def build_cfg(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> CFG:
+    """Build the statement-level CFG for one function body."""
+    builder = _Builder(func.name)
+    outs = builder._body(list(func.body), [builder.entry])
+    builder._link(outs, builder.exit)
+    return CFG(
+        name=func.name,
+        nodes=builder.nodes,
+        entry=builder.entry,
+        exit=builder.exit,
+        raise_exit=builder.raise_exit,
+    )
+
+
+# ----------------------------------------------------------------------
+# Forward fixpoint driver
+# ----------------------------------------------------------------------
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """A forward dataflow problem over a :class:`CFG`.
+
+    Subclasses define the abstract state ``S`` (which must support
+    ``==``), the initial state at function entry, a ``join`` merging
+    states at control-flow confluences (union-like for *may* problems,
+    intersection-like for *must*), and a ``transfer`` producing the
+    out-state for normal successors and — separately — for exception
+    successors (the state as it exists when the statement raises).
+    """
+
+    def initial(self) -> S:
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, node: FlowNode, state: S) -> Tuple[S, S]:
+        raise NotImplementedError
+
+
+@dataclass
+class FlowResult(Generic[S]):
+    """Fixpoint in-states per reachable node."""
+
+    cfg: CFG
+    in_states: Dict[int, S]
+
+    @property
+    def exit_state(self) -> Optional[S]:
+        return self.in_states.get(self.cfg.exit)
+
+    @property
+    def raise_state(self) -> Optional[S]:
+        return self.in_states.get(self.cfg.raise_exit)
+
+
+def run_forward(
+    cfg: CFG, analysis: ForwardAnalysis[S], max_passes: int = 10_000
+) -> FlowResult[S]:
+    """Iterate ``analysis`` over ``cfg`` to a fixpoint.
+
+    ``max_passes`` bounds total node visits as a defence against a
+    non-monotone ``transfer``; the lattices used by the shipped
+    checkers converge in a handful of sweeps.
+    """
+    in_states: Dict[int, S] = {cfg.entry: analysis.initial()}
+    worklist: List[int] = [cfg.entry]
+    visits = 0
+    while worklist:
+        visits += 1
+        if visits > max_passes:  # pragma: no cover - defensive
+            break
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        state = in_states[index]
+        normal_out, exc_out = analysis.transfer(node, state)
+        for target, out in [(t, normal_out) for t in node.succ] + [
+            (t, exc_out) for t in node.exc
+        ]:
+            if target not in in_states:
+                in_states[target] = out
+                worklist.append(target)
+                continue
+            joined = analysis.join(in_states[target], out)
+            if joined != in_states[target]:
+                in_states[target] = joined
+                worklist.append(target)
+    return FlowResult(cfg=cfg, in_states=in_states)

@@ -50,9 +50,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .diagnostics import AnalysisReport, Diagnostic, register_code
+from .flowcheck import FLOW_CODES, flow_findings
 
 __all__ = [
     "DEFAULT_RULES",
+    "FLOW_RULES",
     "LintRule",
     "iter_python_files",
     "lint_paths",
@@ -522,6 +524,30 @@ def _check_elementwise_loops(
                             )
 
 
+class _FlowRule:
+    """Adapter exposing one FM30x dataflow code as a LintRule check.
+
+    All ten rules share a single CFG/fixpoint run per file —
+    :func:`repro.analysis.flowcheck.flow_findings` memoizes on the
+    parsed tree — so the dataflow pass costs one analysis, not ten.
+    """
+
+    def __init__(self, code: str) -> None:
+        self.code = code
+
+    def __call__(self, ctx: LintContext) -> Iterator[Tuple[int, str]]:
+        yield from flow_findings(ctx.tree).get(self.code, [])
+
+
+#: dataflow checkers run where the shared-memory/lease/lock machinery
+#: lives: the engine (pool, parallel, frontier) and the serving layer.
+FLOW_RULE_PATHS: Tuple[str, ...] = ("engine/", "serve/", "graph/", "hw/")
+
+FLOW_RULES: Tuple[LintRule, ...] = tuple(
+    LintRule(code, _FlowRule(code), paths=FLOW_RULE_PATHS)
+    for code in FLOW_CODES
+)
+
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(
         FM201, _check_unordered_iteration, paths=("engine/", "hw/")
@@ -535,7 +561,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     LintRule(
         FM208, _check_elementwise_loops, paths=("engine/kernels.py",)
     ),
-)
+) + FLOW_RULES
 
 
 # ----------------------------------------------------------------------

@@ -147,6 +147,47 @@ FM153 = register_code(
     "the config disables the c-map; hints are dead weight",
 )
 
+# -- FM17x: batch-frontier (level-synchronous) legality ----------------
+FM170 = register_code(
+    "FM170", "plan is ineligible for batch-frontier execution", "info",
+    "patterns with fewer than three vertices (and multi-pattern trees) "
+    "run on the recursive path; batch_frontier=True is a silent no-op",
+)
+FM171 = register_code(
+    "FM171", "leaf shape does not reduce to one varying operand",
+    "warning",
+    "the batch leaf kernel needs a single varying intersection or "
+    "difference at the last level; this plan falls back to per-vertex "
+    "leaf counting inside the level-synchronous engine",
+)
+FM172 = register_code(
+    "FM172", "frontier base references a depth with no level store",
+    "error",
+    "level-synchronous execution keeps candidate stores for depths >= 1 "
+    "only; a base_step of 0 (the root) cannot be composed and crashes "
+    "the batch engine",
+)
+FM173 = register_code(
+    "FM173", "frontier row limit cannot engage the recursion fallback",
+    "error",
+    "frontier_row_limit must be a positive integer: the over-budget "
+    "bailout compares materialized rows against it, and a non-positive "
+    "limit makes the bit-identical fallback unreachable or permanent",
+)
+FM174 = register_code(
+    "FM174", "frontier row limit overflows the segment key space",
+    "error",
+    "segmented kernels key rows as row*num_vertices+value in int64; "
+    "keep frontier_row_limit * num_vertices below 2**63",
+)
+FM175 = register_code(
+    "FM175", "multi-pattern plan is forced onto the recursive path",
+    "info",
+    "the level-synchronous engine only runs single-pattern plans; the "
+    "multi-pattern tree executes recursively regardless of "
+    "batch_frontier",
+)
+
 # -- FM16x: multi-plan trees -------------------------------------------
 FM160 = register_code(
     "FM160", "pattern leaf coverage broken", "error",
@@ -545,11 +586,241 @@ def _check_cmap_hints(
         )
 
 
+#: mirrors ``FrontierExplorer.frontier_row_limit``'s default budget.
+_FRONTIER_ROW_LIMIT_DEFAULT = 1 << 22
+
+#: segmented kernels key (row, value) pairs as ``row*keyspace+value``
+#: in int64; the proof obligation is ``limit * keyspace < 2**63``.
+_SEGMENT_KEY_BITS = 63
+
+
+def batch_leaf_shape(plan: ExecutionPlan) -> Optional[Tuple[str, Optional[int]]]:
+    """Port of the engine's ``_batch_leaf_shape`` decision, statically.
+
+    Returns the ``(kind, fixed_slot)`` the level-synchronous engine
+    derives for the last level — ``("memo", None)``,
+    ``("memo-diff", None)``, ``("direct", i)``, ``("diff-fixed", i)``,
+    ``("diff-varying", i)`` — or ``None`` when the leaf op chain does
+    not reduce to a single varying intersection/difference and the
+    engine falls back to per-vertex leaf counting.  Must stay
+    expression-for-expression in sync with
+    ``repro.engine.explore.FrontierExplorer._batch_leaf_shape``; the
+    fuzz invariant in the test suite pins the two together.
+    """
+    leaf_depth = len(plan.steps)
+    if leaf_depth < 2:
+        return None
+    step = plan.steps[leaf_depth - 1]
+    if step.label is not None:
+        return None
+    d = leaf_depth - 1
+    if step.base_step is not None:
+        extra_c = tuple(step.extra_connected)
+        extra_d = tuple(step.extra_disconnected)
+        if extra_c == (d,) and not extra_d and step.covers_all_ancestors:
+            return ("memo", None)
+        if extra_d == (d,) and not extra_c:
+            return ("memo-diff", None)
+        return None
+    connected = tuple(step.connected)
+    disconnected = tuple(step.disconnected)
+    if not disconnected and step.covers_all_ancestors:
+        if (
+            step.extender == d
+            and len(connected) == 1
+            and connected[0] != d
+        ):
+            return ("direct", connected[0])
+        if step.extender != d and connected == (d,):
+            return ("direct", step.extender)
+        return None
+    if not connected and len(disconnected) == 1:
+        if step.extender != d and disconnected == (d,):
+            return ("diff-fixed", step.extender)
+        if step.extender == d and disconnected[0] != d:
+            return ("diff-varying", disconnected[0])
+    return None
+
+
+def _check_batch_frontier(
+    plan: ExecutionPlan,
+    rep: AnalysisReport,
+    *,
+    graph: "Optional[CSRGraph]" = None,
+    frontier_row_limit: Optional[int] = None,
+    batch_frontier: bool = False,
+) -> None:
+    """FM17x: prove (or refute) legality of ``batch_frontier=True``.
+
+    Always attaches a ``data["batch_frontier"]`` proof section — the
+    batch/recursive routing decision plus one entry per obligation.
+    The decision-grade diagnostics (FM170/FM171) only fire when the
+    caller opted in with ``batch_frontier=True``; the hard errors
+    (FM172-FM174) fire whenever the obligation is outright violated,
+    because those plans crash or drift the moment anyone flips the
+    engine flag.
+    """
+    leaf_depth = len(plan.steps)
+    limit = (
+        _FRONTIER_ROW_LIMIT_DEFAULT
+        if frontier_row_limit is None
+        else frontier_row_limit
+    )
+    obligations: List[Dict[str, object]] = []
+    reasons: List[str] = []
+
+    eligible = leaf_depth >= 2
+    if not eligible:
+        reasons.append(
+            f"pattern has {plan.num_levels} level(s); the batch engine "
+            "needs a leaf depth of at least 2"
+        )
+        if batch_frontier:
+            rep.add(FM170, reasons[-1], location="batch-frontier")
+
+    shape = batch_leaf_shape(plan)
+    if eligible:
+        if shape is None:
+            obligations.append(
+                {
+                    "code": FM171,
+                    "status": "fallback",
+                    "detail": "leaf shape does not reduce; per-vertex "
+                    "leaf counting inside the level-synchronous engine",
+                }
+            )
+            if batch_frontier:
+                rep.add(
+                    FM171,
+                    "leaf ops are not a single varying "
+                    "intersection/difference; the batch leaf kernel "
+                    "does not apply",
+                    location=f"step {leaf_depth}",
+                )
+        else:
+            obligations.append(
+                {
+                    "code": FM171,
+                    "status": "proved",
+                    "detail": f"leaf shape {shape[0]}"
+                    + (
+                        f" (fixed slot {shape[1]})"
+                        if shape[1] is not None
+                        else ""
+                    ),
+                }
+            )
+
+    # level stores exist for depths >= 1 only: a base_step of 0 can
+    # never be composed level-synchronously (the root has no store)
+    bad_bases = [
+        step.depth for step in plan.steps if step.base_step == 0
+    ]
+    for depth in bad_bases:
+        rep.add(
+            FM172,
+            "base_step 0 points at the root, which has no level store "
+            "in batch execution",
+            location=f"step {depth}",
+        )
+    obligations.append(
+        {
+            "code": FM172,
+            "status": "violated" if bad_bases else "proved",
+            "detail": "all frontier bases reference stored levels"
+            if not bad_bases
+            else f"step(s) {bad_bases} compose on the root",
+        }
+    )
+
+    if limit < 1:
+        rep.add(
+            FM173,
+            f"frontier_row_limit={limit} can never admit a frontier; "
+            "every task would take the fallback before mining anything",
+            location="batch-frontier",
+        )
+        obligations.append(
+            {"code": FM173, "status": "violated", "detail": f"limit {limit}"}
+        )
+    else:
+        detail = f"row limit {limit}; fallback reachable"
+        if graph is not None:
+            from ..compiler.estimate import estimate_plan
+
+            over = [
+                lv.depth
+                for lv in estimate_plan(plan, graph)
+                if lv.nodes > limit
+            ]
+            detail += (
+                f"; estimate engages it first at depth {over[0]}"
+                if over
+                else "; estimates stay under the limit on this graph"
+            )
+        obligations.append(
+            {"code": FM173, "status": "proved", "detail": detail}
+        )
+
+    if graph is None:
+        obligations.append(
+            {
+                "code": FM174,
+                "status": "unverified",
+                "detail": "segment-key overflow needs the graph's "
+                "vertex count; pass graph= to prove it",
+            }
+        )
+    else:
+        keyspace = max(1, graph.num_vertices)
+        if limit >= 1 and limit * keyspace >= 1 << _SEGMENT_KEY_BITS:
+            rep.add(
+                FM174,
+                f"frontier_row_limit={limit} times keyspace "
+                f"{keyspace} overflows the int64 segment keys",
+                location="batch-frontier",
+            )
+            obligations.append(
+                {
+                    "code": FM174,
+                    "status": "violated",
+                    "detail": f"{limit} * {keyspace} >= 2**{_SEGMENT_KEY_BITS}",
+                }
+            )
+        else:
+            obligations.append(
+                {
+                    "code": FM174,
+                    "status": "proved",
+                    "detail": f"{limit} * {keyspace} < 2**{_SEGMENT_KEY_BITS}",
+                }
+            )
+
+    decision = "batch" if eligible and not bad_bases and limit >= 1 else "recursive"
+    if decision == "recursive" and eligible:
+        reasons.append("an FM17x obligation is violated")
+    rep.data["batch_frontier"] = {
+        "eligible": eligible,
+        "decision": decision,
+        "leaf_shape": (
+            {"kind": shape[0], "fixed_slot": shape[1]}
+            if shape is not None
+            else {"kind": None, "fixed_slot": None}
+        ),
+        "row_limit": limit,
+        "row_limit_default": frontier_row_limit is None,
+        "reasons": reasons,
+        "obligations": obligations,
+    }
+
+
 def check_plan(
     plan: ExecutionPlan,
     *,
     config: "Optional[FlexMinerConfig]" = None,
     graph: "Optional[CSRGraph]" = None,
+    frontier_row_limit: Optional[int] = None,
+    batch_frontier: bool = False,
 ) -> AnalysisReport:
     """Statically verify an execution plan; returns an
     :class:`~repro.analysis.diagnostics.AnalysisReport` whose truthiness
@@ -558,7 +829,11 @@ def check_plan(
     ``config`` (a :class:`~repro.hw.config.FlexMinerConfig`) enables the
     capacity/width checks; ``graph`` adds per-level cardinality
     estimates from :func:`repro.compiler.estimate.estimate_plan` to the
-    report's ``data``.
+    report's ``data`` and lets the FM17x pass prove the segment-key
+    obligation.  ``frontier_row_limit`` overrides the engine-default
+    row budget the FM17x proofs assume; ``batch_frontier=True`` opts in
+    to the FM170/FM171 routing diagnostics (the proof section in
+    ``data["batch_frontier"]`` is always attached).
     """
     name = plan.pattern.name or f"pattern<{plan.pattern.num_vertices}>"
     rep = AnalysisReport(subject=f"plan:{name}")
@@ -571,6 +846,13 @@ def check_plan(
     _check_injectivity(plan, rep)
     _check_frontier_hints(plan, rep)
     _check_cmap_hints(plan, rep, config)
+    _check_batch_frontier(
+        plan,
+        rep,
+        graph=graph,
+        frontier_row_limit=frontier_row_limit,
+        batch_frontier=batch_frontier,
+    )
     if graph is not None:
         from ..compiler.estimate import estimate_plan
 
@@ -585,16 +867,40 @@ def check_plan(
     return rep
 
 
-def check_multi_plan(plan: MultiPlan) -> AnalysisReport:
+def check_multi_plan(
+    plan: MultiPlan, *, batch_frontier: bool = False
+) -> AnalysisReport:
     """Structural checks for a multi-pattern dependency tree.
 
     The per-pattern constraint semantics live in the merged steps (each
     chain is checked when its single-pattern plan is compiled); here we
     verify the tree itself: depth continuity, one completing node per
     pattern, and that completing nodes are leaves (the count-only path
-    never descends past them).
+    never descends past them).  The FM17x proof section records that a
+    multi-pattern tree is always routed recursively;
+    ``batch_frontier=True`` additionally surfaces that as an FM175
+    info diagnostic.
     """
     rep = AnalysisReport(subject=f"multiplan:{plan.num_patterns}-patterns")
+    rep.data["batch_frontier"] = {
+        "eligible": False,
+        "decision": "recursive",
+        "leaf_shape": {"kind": None, "fixed_slot": None},
+        "row_limit": None,
+        "row_limit_default": None,
+        "reasons": [
+            f"{plan.num_patterns}-pattern tree: the level-synchronous "
+            "engine only runs single-pattern plans"
+        ],
+        "obligations": [],
+    }
+    if batch_frontier:
+        rep.add(
+            FM175,
+            f"{plan.num_patterns}-pattern tree executes recursively; "
+            "batch_frontier has no effect",
+            location="batch-frontier",
+        )
     seen: Dict[int, int] = {}
 
     def walk(node: PlanNode, parent_depth: int) -> None:

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export for analysis reports.
+
+Emits the minimal valid subset GitHub code scanning ingests: one run,
+one tool with a rule per catalogued code actually used, one result per
+finding with a physical location parsed from the lint's ``path:line``
+convention.  Severity maps ``error → error``, ``warning → warning``,
+``info → note``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .diagnostics import CATALOG, AnalysisReport, Diagnostic
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _location(diag: Diagnostic) -> Optional[Dict[str, object]]:
+    path, sep, line = diag.location.rpartition(":")
+    if not (sep and line.isdigit()):
+        return None
+    region: Dict[str, object] = {"startLine": int(line)}
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": region,
+        }
+    }
+
+
+def to_sarif(
+    report: AnalysisReport,
+    *,
+    tool_name: str = "flexminer-lint",
+    tool_version: str = "",
+) -> Dict[str, object]:
+    """Render ``report`` as a SARIF 2.1.0 log dictionary."""
+    used = sorted({d.code for d in report.findings})
+    rules: List[Dict[str, object]] = []
+    for code in used:
+        info = CATALOG[code]
+        rule: Dict[str, object] = {
+            "id": code,
+            "shortDescription": {"text": info.title},
+            "defaultConfiguration": {
+                "level": _LEVELS[info.default_severity]
+            },
+        }
+        if info.hint:
+            rule["help"] = {"text": info.hint}
+        rules.append(rule)
+
+    results: List[Dict[str, object]] = []
+    for diag in report.findings:
+        result: Dict[str, object] = {
+            "ruleId": diag.code,
+            "ruleIndex": used.index(diag.code),
+            "level": _LEVELS[diag.severity],
+            "message": {"text": diag.message},
+        }
+        loc = _location(diag)
+        if loc is not None:
+            result["locations"] = [loc]
+        results.append(result)
+
+    driver: Dict[str, object] = {
+        "name": tool_name,
+        "informationUri": "https://github.com/flexminer/flexminer",
+        "rules": rules,
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

@@ -223,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cmap-kb", type=int, default=8,
         help="c-map size the capacity checks assume",
     )
+    check_p.add_argument(
+        "--batch-frontier", action="store_true",
+        help="prove batch-frontier legality as if the plan were run "
+        "with batch_frontier=True (FM170/FM171/FM175 opt-ins)",
+    )
+    check_p.add_argument(
+        "--frontier-row-limit", type=int, default=None, metavar="ROWS",
+        help="frontier row budget the FM173/FM174 obligations assume "
+        "(default: the engine's built-in limit)",
+    )
 
     lint_p = sub.add_parser(
         "lint",
@@ -234,7 +244,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--json", action="store_true",
-        help="emit a flexminer.run/1 JSON report instead of text",
+        help="shorthand for --format json",
+    )
+    lint_p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="output format: human text (default), flexminer.run/1 "
+        "JSON, or SARIF 2.1.0 for code-scanning upload",
+    )
+    lint_p.add_argument(
+        "--baseline", metavar="FILE",
+        help="subtract the findings recorded in FILE; stale entries "
+        "(suppressions that no longer match) fail the gate as FM299",
+    )
+    lint_p.add_argument(
+        "--update-baseline", metavar="FILE",
+        help="write the current findings to FILE and exit 0",
     )
 
     profile_p = sub.add_parser(
@@ -410,7 +434,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
                     return 2
                 plan = compile_pattern(pattern, induced=args.induced)
-            reports.append(check_plan(plan, config=config))
+            reports.append(check_plan(
+                plan,
+                config=config,
+                frontier_row_limit=args.frontier_row_limit,
+                batch_frontier=args.batch_frontier,
+            ))
         if args.corpus:
             from .verify import load_corpus
 
@@ -422,9 +451,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             for path, case in cases:
                 compiled = case.compile()
                 if isinstance(compiled, MultiPlan):
-                    rep = check_multi_plan(compiled)
+                    rep = check_multi_plan(
+                        compiled, batch_frontier=args.batch_frontier
+                    )
                 else:
-                    rep = check_plan(compiled, config=config)
+                    rep = check_plan(
+                        compiled,
+                        config=config,
+                        frontier_row_limit=args.frontier_row_limit,
+                        batch_frontier=args.batch_frontier,
+                    )
                 rep.subject = f"{path} ({rep.subject})"
                 reports.append(rep)
         merged = merge_reports(reports, subject="check-plan")
@@ -436,6 +472,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             for rep in reports:
                 print(rep.render())
+                proof = rep.data.get("batch_frontier")
+                if proof:
+                    shape = proof.get("leaf_shape") or {}
+                    shape_txt = (
+                        f"{shape['kind']}/slot{shape['fixed_slot']}"
+                        if shape.get("kind") is not None else "none"
+                    )
+                    print(
+                        f"  batch-frontier: decision={proof['decision']} "
+                        f"leaf={shape_txt} "
+                        f"row-limit={proof['row_limit']}"
+                    )
+                    for ob in proof.get("obligations", []):
+                        print(
+                            f"    {ob['code']} {ob['status']}: "
+                            f"{ob['detail']}"
+                        )
             print(
                 f"check-plan: {len(reports)} plan(s), "
                 f"{len(merged.errors)} error(s), "
@@ -465,10 +518,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        fmt = args.format or ("json" if args.json else "text")
         rep = lint_paths(paths)
-        if args.json:
+        if args.update_baseline:
+            from .analysis import Baseline, baseline_from_report, save_baseline
+
+            base = baseline_from_report(rep)
+            base.path = args.update_baseline
+            save_baseline(args.update_baseline, base)
+            print(
+                f"lint: wrote {len(base)} finding(s) to "
+                f"{args.update_baseline}"
+            )
+            return 0
+        if args.baseline:
+            from .analysis import apply_baseline, load_baseline
+
+            try:
+                base = load_baseline(args.baseline)
+            except FileNotFoundError:
+                print(
+                    f"lint: no such baseline file: {args.baseline}",
+                    file=sys.stderr,
+                )
+                return 2
+            except ValueError as exc:
+                print(f"lint: {exc}", file=sys.stderr)
+                return 2
+            rep = apply_baseline(rep, base)
+        if fmt == "json":
             print(json.dumps(
                 rep.to_report(meta={"version": __version__}),
+                indent=2, sort_keys=True,
+            ))
+        elif fmt == "sarif":
+            from .analysis import to_sarif
+
+            print(json.dumps(
+                to_sarif(rep, tool_version=__version__),
                 indent=2, sort_keys=True,
             ))
         else:

@@ -460,10 +460,24 @@ class MinerPool:
                     q.close()
             self._ctrl = []
             self._task_queue = self._result_queue = None
+        # Tear down every segment even when one close()/unlink() raises:
+        # bailing out mid-loop would leak the remaining segments past
+        # process exit (FM301).  The first failure re-raises at the end.
         shared, self._shared = self._shared, []
+        failure: Optional[BaseException] = None
         for owner in shared:
-            owner.close()
-            owner.unlink()
+            try:
+                owner.close()
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+            try:
+                owner.unlink()
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
 
     def _check_open(self) -> None:
         if self._closed:

@@ -346,10 +346,23 @@ def share_array(arr: np.ndarray):
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
-    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-    if arr.size:
-        view[:] = arr
-    spec = {"shm": shm.name, "shape": tuple(arr.shape), "dtype": str(arr.dtype)}
+    try:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        if arr.size:
+            view[:] = arr
+        spec = {
+            "shm": shm.name,
+            "shape": tuple(arr.shape),
+            "dtype": str(arr.dtype),
+        }
+    except BaseException:
+        # the caller never saw the handle; reap the segment or it
+        # outlives the process (unlink even if close itself raises)
+        try:
+            shm.close()
+        finally:
+            shm.unlink()
+        raise
     return shm, spec
 
 

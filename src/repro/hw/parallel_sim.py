@@ -528,9 +528,22 @@ def _trace_in_processes(
             if proc.is_alive():  # pragma: no cover - error cleanup
                 proc.terminate()
                 proc.join()
+        # a close() that raises must not strand the unlink or the
+        # remaining segments; capture the first error and keep reaping
+        failure = None
         for owner in shared:
-            owner.close()
-            owner.unlink()
+            try:
+                owner.close()
+            except BaseException as exc:  # pragma: no cover - cleanup
+                if failure is None:
+                    failure = exc
+            try:
+                owner.unlink()
+            except BaseException as exc:  # pragma: no cover - cleanup
+                if failure is None:
+                    failure = exc
+        if failure is not None:  # pragma: no cover - cleanup
+            raise failure
     return [shards[w] for w in range(workers)]
 
 

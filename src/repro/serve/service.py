@@ -46,7 +46,16 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..compiler import compile_motifs, compile_pattern
 from ..engine import MinerPool, MiningResult
@@ -125,7 +134,7 @@ class MineRequest:
             f"unknown app {self.app!r}; expected TC/k-CL/SL/k-MC"
         )
 
-    def _replace(self, **changes) -> "MineRequest":
+    def _replace(self, **changes: Any) -> "MineRequest":
         fields = {
             "graph": self.graph,
             "app": self.app,
@@ -230,7 +239,9 @@ class _SingleFlightCache:
     (insertion order).
     """
 
-    def __init__(self, *, enabled: bool = True, max_entries: int = 1024):
+    def __init__(
+        self, *, enabled: bool = True, max_entries: int = 1024
+    ) -> None:
         self.enabled = enabled
         self.max_entries = max_entries
         self.hits = 0
@@ -306,7 +317,9 @@ class _GraphEntry:
 
     __slots__ = ("name", "graph", "epoch", "pool", "mine_lock")
 
-    def __init__(self, name: str, graph, epoch: int, pool: MinerPool):
+    def __init__(
+        self, name: str, graph: object, epoch: int, pool: MinerPool
+    ) -> None:
         self.name = name
         self.graph = graph
         self.epoch = epoch
@@ -361,7 +374,7 @@ class MiningService:
         count_leaves: bool = True,
         batch_leaves: bool = True,
         batch_frontier: bool = False,
-        metrics=None,
+        metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if max_active < 1:
@@ -405,7 +418,7 @@ class MiningService:
     def __enter__(self) -> "MiningService":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     @property
@@ -418,16 +431,28 @@ class MiningService:
             if self._closed:
                 return
             self._closed = True
-        self._executor.shutdown(wait=True)
-        with self._registry_lock:
-            entries, self._graphs = list(self._graphs.values()), {}
-        for entry in entries:
-            entry.pool.close()
+        try:
+            self._executor.shutdown(wait=True)
+        finally:
+            # Pools must retire even if the executor teardown raises,
+            # and one failing pool must not strand the rest (FM301):
+            # capture the first error, keep closing, re-raise.
+            with self._registry_lock:
+                entries, self._graphs = list(self._graphs.values()), {}
+            failure: Optional[BaseException] = None
+            for entry in entries:
+                try:
+                    entry.pool.close()
+                except BaseException as exc:
+                    if failure is None:
+                        failure = exc
+            if failure is not None:
+                raise failure
 
     # ------------------------------------------------------------------
     # Graph registry
     # ------------------------------------------------------------------
-    def register_graph(self, name: str, graph) -> int:
+    def register_graph(self, name: str, graph: object) -> int:
         """Register ``graph`` under ``name``; returns its epoch.
 
         Re-registering an existing name bumps the epoch, invalidates
@@ -444,13 +469,21 @@ class MiningService:
             metrics=self.metrics,
             **self._options,
         )
-        with self._registry_lock:
-            old = self._graphs.get(name)
-            epoch = old.epoch + 1 if old is not None else 0
-            self._graphs[name] = _GraphEntry(name, graph, epoch, pool)
+        try:
+            with self._registry_lock:
+                old = self._graphs.get(name)
+                epoch = old.epoch + 1 if old is not None else 0
+                self._graphs[name] = _GraphEntry(name, graph, epoch, pool)
+        except BaseException:
+            # the registry never took ownership: the fresh pool's
+            # worker processes and shared segments are ours to reap
+            pool.close()
+            raise
         if old is not None:
-            self.invalidate_graph(name)
-            old.pool.close()
+            try:
+                self.invalidate_graph(name)
+            finally:
+                old.pool.close()
         self.metrics.counter("serve.graph_registrations").inc()
         self._publish_gauges()
         return epoch
@@ -483,7 +516,9 @@ class MiningService:
     def graph_epoch(self, name: str) -> int:
         return self._entry(name).epoch
 
-    def ensure_graph(self, graph, *, name: Optional[str] = None) -> str:
+    def ensure_graph(
+        self, graph: object, *, name: Optional[str] = None
+    ) -> str:
         """Name under which ``graph`` is registered, registering if new.
 
         The :mod:`repro.apps` passthrough hands the service a graph
@@ -519,12 +554,11 @@ class MiningService:
         """Resolve and lease atomically, so unregister cannot race."""
         with self._registry_lock:
             entry = self._graphs.get(name)
-            if entry is not None:
-                entry.pool.acquire()
-        if entry is None:
-            raise GraphNotRegistered(
-                f"graph {name!r} is not registered"
-            )
+            if entry is None:
+                raise GraphNotRegistered(
+                    f"graph {name!r} is not registered"
+                )
+            entry.pool.acquire()
         return entry
 
     # ------------------------------------------------------------------
@@ -539,7 +573,9 @@ class MiningService:
         """Compiler invocations so far (== distinct plan keys served)."""
         return self._plans.computes
 
-    def plan_for(self, request: MineRequest):
+    def plan_for(
+        self, request: MineRequest
+    ) -> Tuple[object, Tuple[object, ...], bool]:
         """Compiled plan for a (resolved) request, through the cache.
 
         Returns ``(plan, plan_key, was_hit)``.
@@ -551,7 +587,7 @@ class MiningService:
             matching_order=request.matching_order,
         ) + self.config_fingerprint()
 
-        def compile_now():
+        def compile_now() -> object:
             self.metrics.counter("serve.plan_cache.compiles").inc()
             if request.motif_k is not None:
                 return compile_motifs(request.motif_k)
@@ -594,17 +630,27 @@ class MiningService:
             self.metrics.gauge("serve.active").set(self._active)
             self.metrics.gauge("serve.active_peak").set(self._active_peak)
             self.metrics.gauge("serve.queue_depth").set(self._queued)
-        return self._executor.submit(self._run_one, request, request_id)
+        try:
+            return self._executor.submit(self._run_one, request, request_id)
+        except BaseException:
+            # the worker will never run _run_one's bookkeeping; roll the
+            # admission counters back or the slot leaks forever
+            with self._admit_lock:
+                self._active -= 1
+                self._queued -= 1
+                self.metrics.gauge("serve.active").set(self._active)
+                self.metrics.gauge("serve.queue_depth").set(self._queued)
+            raise
 
     def request(self, request: MineRequest) -> MineResponse:
         """Synchronous :meth:`submit` + wait."""
         return self.submit(request).result()
 
-    def mine(self, graph: str, **kwargs) -> MineResponse:
+    def mine(self, graph: str, **kwargs: Any) -> MineResponse:
         """Convenience: build a :class:`MineRequest` and serve it."""
         return self.request(MineRequest(graph=graph, **kwargs))
 
-    def request_for(self, graph, **kwargs) -> MineResponse:
+    def request_for(self, graph: object, **kwargs: Any) -> MineResponse:
         """Apps-API passthrough: serve against a graph *object*."""
         return self.mine(self.ensure_graph(graph), **kwargs)
 
@@ -762,7 +808,7 @@ class MiningService:
         )
         return snapshot
 
-    def stats_report(self, **meta) -> Dict[str, object]:
+    def stats_report(self, **meta: object) -> Dict[str, object]:
         """``flexminer.run/1`` envelope of :meth:`stats` + metrics."""
         payload = dict(self.stats())
         if self.metrics.enabled:

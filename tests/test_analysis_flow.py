@@ -1,0 +1,372 @@
+"""Tests for the dataflow framework (repro.analysis.flow) and the
+resource-lifecycle / lock-discipline checkers (FM300–FM309).
+
+Two layers are pinned:
+
+* the CFG + fixpoint framework itself — block structure, exception
+  edges, the finally-duplication that makes cleanup paths visible, and
+  a classic must-defined analysis run through ``run_forward``;
+* one mutation test per FM30x code: a minimal snippet that must trigger
+  exactly that code, plus the blessed clean idiom (try/finally close,
+  ``with lock:``) that must stay silent.  These are the proof that the
+  checker distinguishes the bug from the fix — delete the fix and the
+  code fires, apply it and the report is empty.
+"""
+
+import ast
+from typing import FrozenSet, Tuple
+
+import pytest
+
+from repro.analysis.flow import (
+    ForwardAnalysis,
+    FlowNode,
+    build_cfg,
+    function_defs,
+    run_forward,
+)
+from repro.analysis.flowcheck import FLOW_CODES, check_functions
+from repro.analysis.fmlint import lint_source
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    (_, func), = function_defs(tree)
+    return build_cfg(func)
+
+
+def codes_of(source: str):
+    """Every FM30x code the snippet triggers, as a sorted tuple."""
+    found = check_functions(ast.parse(source))
+    return tuple(sorted(code for code, hits in found.items() if hits))
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+class TestCFG:
+    def test_linear_function(self):
+        cfg = cfg_of("def f(x):\n    y = x\n    return y\n")
+        kinds = [n.kind for n in cfg.nodes]
+        assert "entry" in kinds and "exit" in kinds
+        assert cfg.nodes[cfg.entry].kind == "entry"
+
+    def test_branch_has_two_successors(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        branches = [n for n in cfg.nodes if n.kind == "branch"]
+        assert branches and len(branches[0].succ) == 2
+
+    def test_loop_zero_iteration_edge(self):
+        # The loop head must have a path to the exit that bypasses the
+        # body entirely (the zero-iteration case) — and the iteration
+        # binding must live on a separate node so the bypass never sees
+        # it.
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        use(x)\n"
+            "    return 1\n"
+        )
+        heads = [n for n in cfg.nodes if n.kind == "loop-head"]
+        binds = [n for n in cfg.nodes if n.kind == "loop-bind"]
+        assert len(heads) == 1 and len(binds) == 1
+        assert binds[0].index in heads[0].succ
+        # head also reaches the after-loop code without the bind node
+        assert any(s != binds[0].index for s in heads[0].succ)
+
+    def test_statement_exception_edges_reach_raise_exit(self):
+        cfg = cfg_of("def f(x):\n    g(x)\n")
+        stmts = [n for n in cfg.nodes if n.kind == "stmt"]
+        assert stmts and cfg.raise_exit in stmts[0].exc
+
+    def test_finally_body_is_duplicated_for_unwind(self):
+        # try/finally compiles to two copies of the finally body: the
+        # normal fall-through and the unwind copy (marked in_cleanup).
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    try:\n"
+            "        g(x)\n"
+            "    finally:\n"
+            "        h(x)\n"
+        )
+        cleanup = [n for n in cfg.nodes if n.in_cleanup and n.stmt]
+        normal = [
+            n for n in cfg.nodes
+            if not n.in_cleanup and n.kind == "stmt" and n.stmt
+            and isinstance(n.stmt, ast.Expr)
+        ]
+        assert cleanup  # the unwind copy exists
+        assert len(normal) >= 2  # g(x) plus the normal finally copy
+
+    def test_with_enter_and_exit_nodes(self):
+        cfg = cfg_of(
+            "def f(lock):\n"
+            "    with lock:\n"
+            "        g()\n"
+        )
+        kinds = {n.kind for n in cfg.nodes}
+        assert {"with-enter", "with-exit", "with-unwind"} <= kinds
+
+    def test_function_defs_qualnames(self):
+        tree = ast.parse(
+            "class C:\n"
+            "    def m(self):\n"
+            "        pass\n"
+            "def free():\n"
+            "    pass\n"
+        )
+        names = [name for name, _ in function_defs(tree)]
+        assert names == ["C.m", "free"]
+
+
+# ----------------------------------------------------------------------
+# Fixpoint driver
+# ----------------------------------------------------------------------
+State = FrozenSet[str]
+
+
+class MustDefined(ForwardAnalysis):
+    """Classic must-defined variables: intersection join."""
+
+    def initial(self) -> State:
+        return frozenset()
+
+    def join(self, a: State, b: State) -> State:
+        return a & b
+
+    def transfer(
+        self, node: FlowNode, state: State
+    ) -> Tuple[State, State]:
+        stmt = node.stmt
+        if node.kind == "stmt" and isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state = state | {target.id}
+        return state, state
+
+
+class TestFixpoint:
+    def test_both_branches_define(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        result = run_forward(cfg, MustDefined())
+        assert "a" in result.exit_state
+
+    def test_one_branch_does_not_dominate(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    return 0\n"
+        )
+        result = run_forward(cfg, MustDefined())
+        assert "a" not in result.exit_state
+
+    def test_loop_body_does_not_dominate_exit(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        a = 1\n"
+            "    return 0\n"
+        )
+        result = run_forward(cfg, MustDefined())
+        assert "a" not in result.exit_state  # zero-iteration path
+
+    def test_straightline_reaches_exit(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n    return b\n")
+        result = run_forward(cfg, MustDefined())
+        assert {"a", "b"} <= result.exit_state
+
+
+# ----------------------------------------------------------------------
+# FM30x mutation tests: each code has a minimal trigger
+# ----------------------------------------------------------------------
+class TestResourceCodes:
+    def test_fm300_shm_leaks_on_normal_path(self):
+        assert codes_of(
+            "def leak(n):\n"
+            "    shm = SharedMemory(create=True, size=n)\n"
+            "    return None\n"
+        ) == ("FM300",)
+
+    def test_fm301_shm_leaks_on_exception_path(self):
+        assert codes_of(
+            "def leak_exc(arr):\n"
+            "    shm = SharedMemory(create=True, size=1)\n"
+            "    fill(shm, arr)\n"
+            "    shm.close()\n"
+            "    shm.unlink()\n"
+        ) == ("FM301",)
+
+    def test_fm302_lease_not_released_on_raise(self):
+        assert codes_of(
+            "def lease_leak(entry):\n"
+            "    entry.pool.acquire()\n"
+            "    work(entry)\n"
+            "    entry.pool.release()\n"
+        ) == ("FM302",)
+
+    def test_fm303_handoff_then_release(self):
+        codes = codes_of(
+            "def handoff(self, arr):\n"
+            "    shm = SharedMemory(create=True, size=1)\n"
+            "    self._shared.append(shm)\n"
+            "    shm.close()\n"
+            "    shm.unlink()\n"
+        )
+        assert "FM303" in codes
+
+    def test_fm304_blocking_call_under_lock(self):
+        assert codes_of(
+            "def blocked(self, fut):\n"
+            "    with self._lock:\n"
+            "        return fut.result()\n"
+        ) == ("FM304",)
+
+    def test_fm305_guarded_field_mutated_without_lock(self):
+        assert codes_of(
+            "class C:\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            self._items = 1\n"
+            "    def b(self):\n"
+            "        with self._lock:\n"
+            "            self._items = 2\n"
+            "    def c(self):\n"
+            "        self._items = 3\n"
+        ) == ("FM305",)
+
+    def test_fm306_lock_leaks_on_exception_path(self):
+        assert codes_of(
+            "def lockleak(self):\n"
+            "    self._lock.acquire()\n"
+            "    work(self)\n"
+            "    self._lock.release()\n"
+        ) == ("FM306",)
+
+    def test_fm307_double_release(self):
+        assert codes_of(
+            "def double(entry):\n"
+            "    entry.pool.acquire()\n"
+            "    entry.pool.release()\n"
+            "    entry.pool.release()\n"
+        ) == ("FM307",)
+
+    def test_fm308_live_resource_rebound(self):
+        codes = codes_of(
+            "def rebind(n):\n"
+            "    shm = SharedMemory(create=True, size=n)\n"
+            "    shm = SharedMemory(create=True, size=n)\n"
+            "    shm.close()\n"
+            "    shm.unlink()\n"
+        )
+        assert "FM308" in codes
+
+    def test_fm309_lock_held_at_return(self):
+        codes = codes_of(
+            "def heldexit(self):\n"
+            "    self._lock.acquire()\n"
+            "    return 1\n"
+        )
+        assert "FM309" in codes
+
+
+# ----------------------------------------------------------------------
+# The blessed idioms must stay silent
+# ----------------------------------------------------------------------
+class TestCleanIdioms:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # try/finally close + unlink (unlink even if close raises —
+            # the sequential form is flagged on purpose: a raising
+            # close() would skip the unlink and leak the segment)
+            "def ok(n):\n"
+            "    shm = SharedMemory(create=True, size=n)\n"
+            "    try:\n"
+            "        fill(shm)\n"
+            "    finally:\n"
+            "        try:\n"
+            "            shm.close()\n"
+            "        finally:\n"
+            "            shm.unlink()\n",
+            # ownership transfer via return
+            "def make(n):\n"
+            "    shm = SharedMemory(create=True, size=n)\n"
+            "    return shm\n",
+            # ownership transfer into a container
+            "def stash(self, n):\n"
+            "    shm = SharedMemory(create=True, size=n)\n"
+            "    self._shared.append(shm)\n",
+            # lease balanced through try/finally
+            "def serve(entry):\n"
+            "    entry.pool.acquire()\n"
+            "    try:\n"
+            "        return work(entry)\n"
+            "    finally:\n"
+            "        entry.pool.release()\n",
+            # with-lock without blocking calls
+            "def guarded(self):\n"
+            "    with self._lock:\n"
+            "        self._items = 1\n",
+            # explicit lock balanced through try/finally
+            "def locked(self):\n"
+            "    self._lock.acquire()\n"
+            "    try:\n"
+            "        work(self)\n"
+            "    finally:\n"
+            "        self._lock.release()\n",
+        ],
+        ids=[
+            "finally-close-unlink",
+            "transfer-return",
+            "transfer-append",
+            "lease-finally",
+            "with-lock",
+            "lock-finally",
+        ],
+    )
+    def test_clean(self, source):
+        assert codes_of(source) == ()
+
+
+# ----------------------------------------------------------------------
+# fmlint wiring: paths, suppressions
+# ----------------------------------------------------------------------
+LEAK = (
+    "def leak(n):\n"
+    "    shm = SharedMemory(create=True, size=n)\n"
+    "    return None\n"
+)
+
+
+class TestLintWiring:
+    def test_flow_rules_fire_on_engine_paths(self):
+        findings = lint_source(LEAK, path="src/repro/engine/x.py")
+        flow = [d for d in findings if d.code in FLOW_CODES]
+        assert [d.code for d in flow] == ["FM300"]
+        assert flow[0].location == "src/repro/engine/x.py:2"
+
+    def test_flow_rules_skip_unrelated_paths(self):
+        findings = lint_source(LEAK, path="src/repro/patterns/x.py")
+        assert [d.code for d in findings if d.code in FLOW_CODES] == []
+
+    def test_inline_suppression(self):
+        src = LEAK.replace(
+            "size=n)", "size=n)  # fmlint: disable=FM300"
+        )
+        findings = lint_source(src, path="src/repro/engine/x.py")
+        assert [d.code for d in findings if d.code in FLOW_CODES] == []

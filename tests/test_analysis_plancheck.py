@@ -372,3 +372,182 @@ class TestStaticDynamicInvariant:
         kinds = {m.kind for m in result.mismatches}
         assert "count" in kinds  # the double count really happens
         assert "static-dynamic" not in kinds  # invariant holds
+
+
+# ----------------------------------------------------------------------
+# FM17x: batch-frontier legality proofs
+# ----------------------------------------------------------------------
+class TestBatchFrontierProofs:
+    def _proof(self, rep):
+        proof = rep.data.get("batch_frontier")
+        assert proof is not None, "proof section must always be attached"
+        return proof
+
+    def test_proof_section_always_attached(self):
+        rep = check_plan(compile_pattern(triangle()))
+        proof = self._proof(rep)
+        assert proof["eligible"] is True
+        assert proof["decision"] == "batch"
+        assert proof["leaf_shape"] == {"kind": "direct", "fixed_slot": 0}
+        statuses = {o["code"]: o["status"] for o in proof["obligations"]}
+        assert statuses["FM171"] == "proved"
+        assert statuses["FM172"] == "proved"
+        assert statuses["FM173"] == "proved"
+        assert statuses["FM174"] == "unverified"  # needs a graph
+
+    def test_fm174_proved_with_graph(self):
+        from repro.graph import erdos_renyi
+
+        rep = check_plan(
+            compile_pattern(triangle()), graph=erdos_renyi(40, 0.2, seed=1)
+        )
+        statuses = {
+            o["code"]: o["status"]
+            for o in self._proof(rep)["obligations"]
+        }
+        assert statuses["FM174"] == "proved"
+
+    def test_fm170_two_vertex_plan_ineligible(self):
+        from repro.patterns import edge
+
+        plan = compile_pattern(edge())
+        # silent without the opt-in (the recursive path is the default)
+        assert check_plan(plan).codes() == ()
+        rep = check_plan(plan, batch_frontier=True)
+        assert rep.codes() == ("FM170",)
+        assert rep.ok  # info: the engine falls back, it does not break
+        assert self._proof(rep)["decision"] == "recursive"
+
+    def test_fm171_leaf_shape_fallback(self):
+        plan = compile_pattern(four_cycle(), induced=True)
+        assert check_plan(plan).codes() == ()
+        rep = check_plan(plan, batch_frontier=True)
+        assert rep.codes() == ("FM171",)
+        assert rep.ok  # warning: per-vertex leaves, still batch-legal
+        proof = self._proof(rep)
+        assert proof["decision"] == "batch"
+        assert proof["leaf_shape"]["kind"] is None
+
+    def test_fm172_base_step_without_level_store(self):
+        plan = compile_pattern(diamond())
+        idx = next(
+            i for i, s in enumerate(plan.steps)
+            if s.base_step is not None
+        )
+        # PlanStep.__post_init__ rejects base_step=0, so a corrupted
+        # plan (hand-built, or deserialized around the dataclass) is
+        # forged the same way: mutate the frozen field in place.
+        mutant = replace(plan.steps[idx])
+        object.__setattr__(mutant, "base_step", 0)
+        bad = replace(
+            plan,
+            steps=plan.steps[:idx] + (mutant,) + plan.steps[idx + 1:],
+        )
+        rep = check_plan(bad)
+        assert "FM172" in rep.codes()
+        assert not rep.ok
+
+    def test_fm173_row_limit_must_admit_a_row(self):
+        rep = check_plan(compile_pattern(triangle()), frontier_row_limit=0)
+        assert rep.codes() == ("FM173",)
+        assert not rep.ok
+
+    def test_fm174_segment_key_overflow(self):
+        from repro.graph import erdos_renyi
+
+        rep = check_plan(
+            compile_pattern(triangle()),
+            graph=erdos_renyi(40, 0.2, seed=1),
+            frontier_row_limit=2 ** 62,
+        )
+        assert rep.codes() == ("FM174",)
+        assert not rep.ok
+
+    def test_fm175_multi_pattern_forced_recursive(self):
+        plan = compile_motifs(3)
+        assert check_multi_plan(plan).codes() == ()
+        rep = check_multi_plan(plan, batch_frontier=True)
+        assert rep.codes() == ("FM175",)
+        assert rep.ok
+        assert rep.data["batch_frontier"]["decision"] == "recursive"
+
+    def test_decisions_match_engine_routing(self):
+        # The proof's batch/recursive decision must agree with what the
+        # engine actually does under batch_frontier=True.
+        from repro.engine.explore import PatternAwareEngine
+        from repro.graph import erdos_renyi
+        from repro.patterns import edge
+
+        graph = erdos_renyi(30, 0.2, seed=7)
+        for pattern, induced in [
+            (triangle(), False),
+            (four_cycle(), True),
+            (edge(), False),
+            (k_clique(4), False),
+        ]:
+            plan = compile_pattern(pattern, induced=induced)
+            rep = check_plan(plan, batch_frontier=True)
+            decision = rep.data["batch_frontier"]["decision"]
+            engine = PatternAwareEngine(graph, plan, batch_frontier=True)
+            routed = "batch" if engine._frontier_ok else "recursive"
+            assert decision == routed, pattern
+
+
+class TestBatchFrontierFallbackParity:
+    """FM17x-flagged plans must *fall back*, not drift: running them
+    with batch_frontier=True has to be bit-identical to the recursive
+    path (counts and op counters)."""
+
+    def _parity(self, plan, graph, **engine_kwargs):
+        from repro.engine import PatternAwareEngine
+
+        base = PatternAwareEngine(graph, plan).run()
+        batch = PatternAwareEngine(
+            graph, plan, batch_frontier=True, **engine_kwargs
+        ).run()
+        assert batch.counts == base.counts
+        assert batch.counters.as_dict() == base.counters.as_dict()
+
+    def test_fm170_ineligible_plan_identical(self):
+        from repro.graph import erdos_renyi
+        from repro.patterns import edge
+
+        self._parity(compile_pattern(edge()), erdos_renyi(40, 0.2, seed=2))
+
+    def test_fm171_fallback_leaf_identical(self):
+        from repro.graph import erdos_renyi
+
+        self._parity(
+            compile_pattern(four_cycle(), induced=True),
+            erdos_renyi(40, 0.2, seed=3),
+        )
+
+    def test_fm173_tiny_row_limit_identical(self):
+        # A row limit the estimate says will engage the fallback: the
+        # engine must chunk, not diverge.
+        from repro.graph import erdos_renyi
+
+        self._parity(
+            compile_pattern(triangle()),
+            erdos_renyi(60, 0.15, seed=4),
+            frontier_row_limit=4,
+        )
+
+    def test_fuzzed_flagged_plans_fall_back_identically(self):
+        # Randomized sweep across the library: every plan the proof
+        # routes recursive (or flags for fallback) under the opt-in
+        # stays bit-identical when actually run with batch_frontier.
+        from repro.graph import erdos_renyi
+        from repro.patterns import PATTERN_NAMES, from_name
+
+        graph = erdos_renyi(36, 0.18, seed=11)
+        flagged = 0
+        for name in PATTERN_NAMES:
+            for induced in (False, True):
+                plan = compile_pattern(from_name(name), induced=induced)
+                rep = check_plan(plan, batch_frontier=True)
+                if not rep.findings:
+                    continue
+                flagged += 1
+                self._parity(plan, graph)
+        assert flagged >= 3  # the sweep actually exercised fallbacks

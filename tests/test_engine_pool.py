@@ -245,6 +245,36 @@ class TestLifecycle:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=str(name))
 
+    def test_close_reaps_all_segments_despite_owner_failure(self):
+        # Regression (FM301): a failing owner.close() used to abort the
+        # teardown loop, stranding every later segment past process
+        # exit.  The loop must keep going and re-raise the first error.
+        pool = MinerPool(PL, workers=2)
+        pool.mine(compile_pattern(triangle()))
+        names = [
+            spec[key]["shm"]
+            for spec in (pool._topo_spec, pool._work_spec)
+            if spec is not None
+            for key in ("indptr", "indices")
+            if key in spec
+        ]
+        assert names
+
+        class _Boom:
+            def close(self):
+                raise OSError("close boom")
+
+            def unlink(self):
+                raise OSError("unlink boom")
+
+        pool._shared.insert(0, _Boom())
+        with pytest.raises(OSError, match="close boom"):
+            pool.close()
+        assert pool.closed
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=str(name))
+
     def test_worker_death_raises_structured_error(self):
         plan = compile_pattern(triangle())
         pool = MinerPool(ER, workers=2)

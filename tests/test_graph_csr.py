@@ -211,3 +211,49 @@ class TestNetworkxInterop:
 
         g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
         assert sum(nx.triangles(g.to_networkx()).values()) // 3 == 1
+
+
+class TestSharedArrays:
+    def test_share_attach_round_trip(self):
+        from repro.graph import attach_array, share_array
+
+        arr = np.arange(7, dtype=np.int64)
+        shm, spec = share_array(arr)
+        try:
+            view, handle = attach_array(spec)
+            assert np.array_equal(view, arr)
+            handle.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_share_array_reaps_segment_when_copy_fails(self, monkeypatch):
+        # Regression (FM301): if the copy into the fresh segment raises,
+        # the caller never saw the handle — share_array must close AND
+        # unlink before re-raising, or the segment outlives the process.
+        from multiprocessing import shared_memory
+
+        from repro.graph import share_array
+
+        arr = np.arange(5, dtype=np.int64)
+        created = []
+        real_shm = shared_memory.SharedMemory
+
+        class Recording(real_shm):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self.name)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("view boom")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", Recording)
+        monkeypatch.setattr(np, "ndarray", boom)
+        try:
+            with pytest.raises(RuntimeError, match="view boom"):
+                share_array(arr)
+        finally:
+            monkeypatch.undo()
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real_shm(name=created[0])

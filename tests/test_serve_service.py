@@ -245,6 +245,24 @@ class TestAdmission:
             svc.register_graph("pl", PL)
         svc.close()  # idempotent
 
+    def test_submit_rolls_back_admission_on_executor_failure(
+        self, service, monkeypatch
+    ):
+        # Regression: if the executor rejects the task after admission,
+        # the active/queued counters must roll back or the slot leaks
+        # until the service dies of phantom backpressure.
+        real_submit = service._executor.submit
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("executor boom")
+
+        monkeypatch.setattr(service._executor, "submit", boom)
+        with pytest.raises(RuntimeError, match="executor boom"):
+            service.submit(MineRequest(graph="er", app="TC"))
+        assert service.active_tasks == 0
+        monkeypatch.setattr(service._executor, "submit", real_submit)
+        assert service.mine("er", app="TC").counts  # slot not leaked
+
     def test_request_validation(self, service):
         with pytest.raises(ConfigError):
             service.mine("er")  # neither app nor pattern
@@ -267,6 +285,76 @@ class TestAdmission:
 # ----------------------------------------------------------------------
 # Observability
 # ----------------------------------------------------------------------
+class TestResourceLifecycle:
+    """Regressions for the FM300-family findings the dataflow verifier
+    surfaced: every pool must reach close() on every path, and leases
+    must balance even when the request path errors out."""
+
+    def test_close_retires_every_pool_despite_failure(self):
+        svc = MiningService(workers=1)
+        svc.register_graph("er", ER)
+        svc.register_graph("pl", PL)
+        pools = [entry.pool for entry in svc._graphs.values()]
+        first = pools[0]
+        real_close = first.close
+
+        def boom():
+            real_close()
+            raise OSError("pool close boom")
+
+        first.close = boom
+        with pytest.raises(OSError, match="pool close boom"):
+            svc.close()
+        assert svc.closed
+        assert all(pool.closed for pool in pools)
+
+    def test_register_failure_reaps_fresh_pool(self, service, monkeypatch):
+        # If the registry insert raises, the service never took
+        # ownership of the just-built pool — register_graph must close
+        # it before re-raising (regression: FM301 pool leak).
+        import repro.serve.service as service_mod
+
+        created = []
+        real_pool = service_mod.MinerPool
+
+        def tracking(*args, **kwargs):
+            pool = real_pool(*args, **kwargs)
+            created.append(pool)
+            return pool
+
+        monkeypatch.setattr(service_mod, "MinerPool", tracking)
+
+        class _BoomDict(dict):
+            def __setitem__(self, key, value):
+                raise RuntimeError("registry boom")
+
+        service._graphs = _BoomDict(service._graphs)
+        with pytest.raises(RuntimeError, match="registry boom"):
+            service.register_graph("pl", PL)
+        assert len(created) == 1
+        assert created[0].closed
+
+    def test_reregistration_retires_old_pool(self, service):
+        old_pool = service._graphs["er"].pool
+        epoch = service.register_graph("er", ER)
+        assert epoch == 1
+        assert old_pool.closed
+        assert not service._graphs["er"].pool.closed
+        assert service.mine("er", app="TC").counts
+
+    def test_missing_graph_leases_nothing(self, service):
+        # Regression (FM302): leases must balance on every path through
+        # the request pipeline, including lookup failures.
+        pool = service._graphs["er"].pool
+        assert pool.leases == 0
+        with pytest.raises(GraphNotRegistered):
+            service._leased_entry("nope")
+        assert pool.leases == 0
+        with pytest.raises(GraphNotRegistered):
+            service.mine("nope", app="TC")
+        assert pool.leases == 0
+
+
 class TestObservability:
     def test_serve_metrics_published(self):
         registry = MetricsRegistry()
